@@ -1,0 +1,100 @@
+package anton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Facade tests: the public API the README advertises must work end to
+// end.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, err := SmallSystem(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(sys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	eng.SetVelocities(MaxwellVelocities(sys, 300, rng))
+	eng.Step(10)
+	if eng.StepCount() != 10 {
+		t.Errorf("steps: %d", eng.StepCount())
+	}
+	if T := eng.Temperature(); T <= 0 || math.IsNaN(T) {
+		t.Errorf("temperature %g", T)
+	}
+}
+
+func TestFacadeNamedSystems(t *testing.T) {
+	names := SystemNames()
+	if len(names) < 8 {
+		t.Fatalf("expected >=8 named systems, got %v", names)
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"BPTI", "DHFR", "gpW", "GB3"} {
+		if !found[want] {
+			t.Errorf("missing system %s", want)
+		}
+	}
+	if _, err := SystemByName("nope"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestFacadeProjectRate(t *testing.T) {
+	sys, err := SystemByName("gpW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := ProjectRate(m, sys)
+	// The paper's gpW rate is 18.7 us/day; the calibrated model must land
+	// in its band.
+	if rate < 18.7/1.45 || rate > 18.7*1.45 {
+		t.Errorf("gpW projected rate %.1f, paper 18.7", rate)
+	}
+	if _, err := NewMachine(7); err == nil {
+		t.Error("non-power-of-two machine accepted")
+	}
+}
+
+func TestFacadeReferenceEngine(t *testing.T) {
+	sys, err := SmallSystem(false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReferenceEngine(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	ref.SetVelocities(MaxwellVelocities(sys, 300, rng))
+	ref.Step(5)
+	if math.IsNaN(ref.TotalEnergy()) {
+		t.Error("reference engine energy NaN")
+	}
+}
+
+func TestFacadeEngineConfig(t *testing.T) {
+	cfg := DefaultEngineConfig(64)
+	if cfg.Dt != 2.5 || cfg.MTSInterval != 2 || cfg.Nodes != 64 {
+		t.Errorf("default config wrong: %+v", cfg)
+	}
+	sys, _ := SmallSystem(false, 3)
+	cfg.TauT = 0
+	eng, err := NewEngineWithConfig(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step(2)
+}

@@ -1,0 +1,257 @@
+package anton
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`); each Benchmark*
+// corresponds to one entry of the per-experiment index in DESIGN.md and
+// prints its report on the first iteration. Sizes are reduced so a full
+// sweep completes in minutes; `cmd/antonbench -full` runs the long
+// versions.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"anton/internal/core"
+	"anton/internal/experiments"
+	"anton/internal/refmd"
+	"anton/internal/system"
+)
+
+// report prints an experiment's output once (benchmarks re-run bodies).
+var reported sync.Map
+
+func report(b *testing.B, name, out string) {
+	b.Helper()
+	if _, dup := reported.LoadOrStore(name, true); !dup {
+		b.Logf("\n%s", out)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "table1", out)
+	}
+}
+
+func BenchmarkTable2Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "table2", out)
+	}
+}
+
+func BenchmarkTable2Measured(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table2Measured(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "table2m", out)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table3(100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "table3", out)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := experiments.Table4(true, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "table4", out)
+	}
+}
+
+func BenchmarkFig3ImportRegions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "fig3", out)
+	}
+}
+
+func BenchmarkFig5Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "fig5", out)
+	}
+}
+
+func BenchmarkFig6OrderParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig6(24, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "fig6", out)
+	}
+}
+
+func BenchmarkFig7Folding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig7(40000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "fig7", out)
+	}
+}
+
+func BenchmarkSection4Properties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Properties(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "properties", out)
+	}
+}
+
+func BenchmarkSection51Partition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Partition()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "partition", out)
+	}
+}
+
+// --- engine microbenchmarks -------------------------------------------
+
+func smallAntonEngine(b *testing.B) *core.Engine {
+	b.Helper()
+	s, err := system.Small(true, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(s, core.DefaultConfig(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	eng.Step(1)
+	return eng
+}
+
+func BenchmarkAntonEngineStep(b *testing.B) {
+	eng := smallAntonEngine(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Step(1)
+	}
+}
+
+func BenchmarkReferenceEngineStep(b *testing.B) {
+	s, err := system.Small(true, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := refmd.NewEngine(s, refmd.DefaultConfig(s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	eng.Step(1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Step(1)
+	}
+}
+
+// --- ablation benchmarks (design-choice studies from DESIGN.md) --------
+
+func BenchmarkAblationMantissa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationMantissa()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "abl-mantissa", out)
+	}
+}
+
+func BenchmarkAblationSubbox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationSubbox()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "abl-subbox", out)
+	}
+}
+
+func BenchmarkAblationMTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationMTS(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "abl-mts", out)
+	}
+}
+
+func BenchmarkAblationGSEvsSPME(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationGSEvsSPME()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "abl-mesh", out)
+	}
+}
+
+func BenchmarkAblationNTvsHalfShell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.AblationNTvsHalfShell()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "abl-nt", out)
+	}
+}
+
+func BenchmarkWaterStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.WaterStructure(80, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "water", out)
+	}
+}
+
+func BenchmarkBPTIMillisecondSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.BPTI(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, "bpti", out)
+	}
+}

@@ -1,0 +1,83 @@
+// Command antonperf explores the calibrated Anton performance model: it
+// sweeps machine sizes, cutoffs and mesh resolutions for a chosen system
+// and prints the projected per-step profile and simulation rate — the
+// tool for reproducing the co-design trade-off of Table 2 (bigger cutoff
+// + coarser mesh wins on Anton, loses on commodity hardware) on any
+// configuration.
+//
+// Usage:
+//
+//	antonperf -system DHFR -sweep nodes
+//	antonperf -system DHFR -sweep params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anton/internal/machine"
+	"anton/internal/system"
+)
+
+func main() {
+	var (
+		name  = flag.String("system", "DHFR", "named system")
+		sweep = flag.String("sweep", "nodes", "'nodes', 'params', or 'cluster'")
+		nodes = flag.Int("nodes", 512, "node count for the params sweep")
+	)
+	flag.Parse()
+
+	spec, ok := system.SpecFor(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q; have %v\n", *name, system.Names())
+		os.Exit(1)
+	}
+	w := machine.WorkloadFromSpec(spec)
+
+	switch *sweep {
+	case "nodes":
+		fmt.Printf("%s (%d atoms): rate vs machine size\n", *name, w.Atoms)
+		fmt.Printf("%-8s %6s %12s %12s %10s %8s %8s\n",
+			"nodes", "torus", "us/step(LR)", "us/step(avg)", "us/day", "subdiv", "ME")
+		for _, n := range []int{1, 8, 64, 128, 256, 512, 1024, 4096, 32768} {
+			m, err := machine.New(n)
+			if err != nil {
+				continue
+			}
+			p := machine.DefaultModel.Estimate(m, w)
+			fmt.Printf("%-8d %d×%d×%d %12.2f %12.2f %10.2f %8d %7.0f%%\n",
+				n, m.Dims[0], m.Dims[1], m.Dims[2],
+				p.TotalLongRange*1e6, p.Average*1e6, p.RatePerDay,
+				p.Subdiv, p.MatchEfficiency*100)
+		}
+	case "params":
+		m, err := machine.New(*nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s on %d nodes: electrostatics parameter sweep (Table 2 trade-off)\n", *name, *nodes)
+		fmt.Printf("%-8s %6s %12s %12s %12s %10s\n", "cutoff", "mesh", "range(us)", "FFT(us)", "mesh(us)", "us/day")
+		for _, cutoff := range []float64{9, 11, 13, 15} {
+			for _, mesh := range []int{32, 64} {
+				ww := w
+				ww.Cutoff = cutoff
+				ww.Mesh = mesh
+				ww.RSpread = cutoff * 7.1 / 10.4
+				p := machine.DefaultModel.Estimate(m, ww)
+				fmt.Printf("%-8.1f %6d %12.2f %12.2f %12.2f %10.2f\n",
+					cutoff, mesh, p.RangeLimited*1e6, p.FFT*1e6, p.MeshInterp*1e6, p.RatePerDay)
+			}
+		}
+	case "cluster":
+		fmt.Printf("%s: commodity-cluster model (Desmond-class, §5.1)\n", *name)
+		fmt.Printf("%-8s %12s\n", "nodes", "us/day")
+		for _, n := range []int{8, 32, 128, 512, 2048} {
+			fmt.Printf("%-8d %12.3f\n", n, machine.DefaultCluster.RatePerDay(w, n))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Command antonsim runs a molecular dynamics simulation of one of the
+// paper's benchmark systems on a simulated Anton machine, reporting
+// energies, hardware statistics (match efficiency, pair throughput) and
+// the calibrated performance model's projection of the configuration's
+// simulation rate.
+//
+// Usage:
+//
+//	antonsim -system gpW -nodes 8 -steps 50
+//	antonsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"anton/internal/core"
+	"anton/internal/machine"
+	"anton/internal/system"
+	"anton/internal/trace"
+)
+
+func main() {
+	var (
+		name  = flag.String("system", "gpW", "named system (see -list) or 'small'")
+		nodes = flag.Int("nodes", 8, "Anton node count to simulate (power of two)")
+		steps = flag.Int("steps", 20, "time steps to run")
+		temp  = flag.Float64("temp", 300, "thermostat target temperature, K (0 = NVE)")
+		list  = flag.Bool("list", false, "list available systems and exit")
+		every = flag.Int("report", 10, "report energies every N steps")
+		pdb   = flag.String("pdb", "", "write the final snapshot as a PDB file")
+		comm  = flag.Bool("comm", false, "print the per-step communication report")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available systems:")
+		for _, n := range system.Names() {
+			spec, _ := system.SpecFor(n)
+			fmt.Printf("  %-8s %8d atoms, %6.1f Å box, cutoff %5.1f Å, mesh %d³\n",
+				n, spec.TotalAtoms, spec.Side, spec.Cutoff, spec.Mesh)
+		}
+		fmt.Println("  small       645 atoms (fast demo)")
+		return
+	}
+
+	var s *system.System
+	var err error
+	if *name == "small" {
+		s, err = system.Small(true, 1)
+	} else {
+		s, err = system.ByName(*name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("system %s: %d particles, %d waters, %d protein atoms, box %.1f Å\n",
+		s.Name, s.NAtoms(), s.Waters, s.ProteinAtoms, s.Box.L.X)
+
+	cfg := core.DefaultConfig(*nodes)
+	if *temp <= 0 {
+		cfg.TauT = 0
+	} else {
+		cfg.TargetT = *temp
+	}
+	eng, err := core.NewEngine(s, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(2))
+	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+
+	fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
+	for done := 0; done < *steps; {
+		n := *every
+		if done+n > *steps {
+			n = *steps - done
+		}
+		eng.Step(n)
+		done += n
+		fmt.Printf("step %5d: T = %6.1f K   PE = %12.2f   E = %12.2f kcal/mol\n",
+			eng.StepCount(), eng.Temperature(), eng.PotentialEnergy, eng.TotalEnergy())
+	}
+
+	st := eng.Stats
+	fmt.Printf("\nhardware statistics over %d steps:\n", st.Steps)
+	fmt.Printf("  pairs considered by match units: %d\n", st.PairsConsidered)
+	fmt.Printf("  pairs passing low-precision check: %d\n", st.PairsMatched)
+	fmt.Printf("  pairs computed by PPIPs: %d\n", st.PairsComputed)
+	fmt.Printf("  match efficiency: %.1f%%\n", st.MatchEfficiency()*100)
+	fmt.Printf("  atom-mesh interactions: %d\n", st.MeshInteractions)
+	fmt.Printf("  migrations: %d\n", st.Migrations)
+
+	if *comm {
+		rep, err := eng.Comm()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", rep)
+	}
+
+	if *pdb != "" {
+		f, err := os.Create(*pdb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		labels := make([]trace.AtomLabel, s.NAtoms())
+		for i, a := range s.Top.Atoms {
+			labels[i] = trace.AtomLabel{Name: a.Name, Residue: a.Residue}
+		}
+		if err := trace.WritePDB(f, labels, eng.Positions(), s.Box, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote snapshot to %s\n", *pdb)
+	}
+
+	w := machine.WorkloadFromSystem(s)
+	p := machine.DefaultModel.Estimate(eng.Mach, w)
+	fmt.Printf("\nperformance model for this configuration:\n")
+	fmt.Printf("  per-step (long-range): %.1f us; (short): %.1f us; average %.1f us\n",
+		p.TotalLongRange*1e6, p.TotalShort*1e6, p.Average*1e6)
+	fmt.Printf("  projected simulation rate: %.2f us/day\n", p.RatePerDay)
+}

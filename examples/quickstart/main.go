@@ -1,0 +1,44 @@
+// Quickstart: build a small solvated-protein system, run it for a few
+// hundred femtoseconds on a simulated 8-node Anton machine, and print the
+// energies — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"anton/internal/core"
+	"anton/internal/system"
+)
+
+func main() {
+	// 1. Build a chemical system: a 645-particle solvated mini-protein.
+	sys, err := system.Small(true, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s: %d particles (%d waters + %d protein atoms) in a %.1f Å box\n",
+		sys.Name, sys.NAtoms(), sys.Waters, sys.ProteinAtoms, sys.Box.L.X)
+
+	// 2. Create the Anton engine on an 8-node machine with the paper's
+	// standard parameters (2.5-fs steps, long-range every other step,
+	// Berendsen thermostat at 300 K).
+	eng, err := core.NewEngine(sys, core.DefaultConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Thermalize and run.
+	rng := rand.New(rand.NewSource(7))
+	eng.SetVelocities(system.InitVelocities(sys.Top, 300, rng))
+	for i := 0; i < 5; i++ {
+		eng.Step(20)
+		fmt.Printf("t = %6.1f fs   T = %6.1f K   E = %10.2f kcal/mol\n",
+			float64(eng.StepCount())*eng.Cfg.Dt, eng.Temperature(), eng.TotalEnergy())
+	}
+
+	// 4. Inspect the simulated hardware.
+	fmt.Printf("\nmatch efficiency: %.0f%%  (pairs: %d considered, %d computed)\n",
+		eng.Stats.MatchEfficiency()*100, eng.Stats.PairsConsidered, eng.Stats.PairsComputed)
+}

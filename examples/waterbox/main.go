@@ -1,0 +1,66 @@
+// Waterbox: solvent-level validation. A TIP3P water box runs on the
+// Anton engine from a lattice start; within a few hundred femtoseconds it
+// develops the radial distribution function of liquid water, with the
+// first O-O peak near 2.8 Å — structure emerging from nothing but the
+// force field and the integrator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"anton/internal/analysis"
+	"anton/internal/core"
+	"anton/internal/system"
+	"anton/internal/trace"
+)
+
+func main() {
+	sys, err := system.Small(false, 9) // 215 TIP3P waters
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(sys, core.DefaultConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	eng.SetVelocities(system.InitVelocities(sys.Top, 300, rng))
+
+	fmt.Println("equilibrating 200 fs off the lattice...")
+	eng.Step(80)
+
+	tr := trace.New(sys.NAtoms())
+	const steps, every = 160, 8
+	for done := 0; done < steps; done += every {
+		eng.Step(every)
+		if err := tr.Record(eng.StepCount(), float64(eng.StepCount())*eng.Cfg.Dt, eng.Positions(), eng.TotalEnergy()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("sampled %d frames at T = %.0f K\n\n", tr.Len(), eng.Temperature())
+
+	var oxy []int
+	for i, a := range sys.Top.Atoms {
+		if a.Name == "OW" {
+			oxy = append(oxy, i)
+		}
+	}
+	r, g, err := analysis.RDF(tr.PositionFrames(), sys.Box, oxy, oxy, 8.0, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("O-O radial distribution function:")
+	for i := 0; i < len(r); i += 2 {
+		bar := strings.Repeat("#", int(g[i]*10))
+		if len(bar) > 40 {
+			bar = bar[:40]
+		}
+		fmt.Printf("r=%4.1f Å  g=%5.2f %s\n", r[i], g[i], bar)
+	}
+	if pos, height, ok := analysis.FirstPeak(r, g, 1.2); ok {
+		fmt.Printf("\nfirst peak: r = %.2f Å (g = %.2f); liquid water: ~2.8 Å\n", pos, height)
+	}
+}

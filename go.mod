@@ -1,0 +1,3 @@
+module anton
+
+go 1.22

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"anton/internal/vec"
+)
+
+// Superpose computes the optimal rigid-body rotation+translation mapping
+// mobile onto target (Horn's quaternion method), returning the rotated,
+// translated copy of mobile and the RMSD after superposition. Both sets
+// must have equal length; weights may be nil for uniform weighting.
+func Superpose(target, mobile []vec.V3, weights []float64) ([]vec.V3, float64, error) {
+	n := len(target)
+	if n == 0 || n != len(mobile) {
+		return nil, 0, fmt.Errorf("analysis: mismatched point sets %d/%d", len(target), len(mobile))
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	var wSum float64
+	var cT, cM vec.V3
+	for i := 0; i < n; i++ {
+		wSum += w[i]
+		cT = cT.Add(target[i].Scale(w[i]))
+		cM = cM.Add(mobile[i].Scale(w[i]))
+	}
+	cT = cT.Scale(1 / wSum)
+	cM = cM.Scale(1 / wSum)
+
+	// Covariance matrix of centered coordinates.
+	var sxx, sxy, sxz, syx, syy, syz, szx, szy, szz float64
+	for i := 0; i < n; i++ {
+		a := mobile[i].Sub(cM)
+		b := target[i].Sub(cT)
+		sxx += w[i] * a.X * b.X
+		sxy += w[i] * a.X * b.Y
+		sxz += w[i] * a.X * b.Z
+		syx += w[i] * a.Y * b.X
+		syy += w[i] * a.Y * b.Y
+		syz += w[i] * a.Y * b.Z
+		szx += w[i] * a.Z * b.X
+		szy += w[i] * a.Z * b.Y
+		szz += w[i] * a.Z * b.Z
+	}
+	// Horn's symmetric 4x4 key matrix.
+	k := [4][4]float64{
+		{sxx + syy + szz, syz - szy, szx - sxz, sxy - syx},
+		{syz - szy, sxx - syy - szz, sxy + syx, szx + sxz},
+		{szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy},
+		{sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz},
+	}
+	q, err := maxEigenvector4(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	rot := quatToRot(q)
+
+	out := make([]vec.V3, n)
+	var msd float64
+	for i := 0; i < n; i++ {
+		p := rot.MulV(mobile[i].Sub(cM)).Add(cT)
+		out[i] = p
+		msd += w[i] * p.Sub(target[i]).Norm2()
+	}
+	return out, math.Sqrt(msd / wSum), nil
+}
+
+// RMSD returns the minimum rmsd between two point sets over rigid-body
+// motions.
+func RMSD(a, b []vec.V3) (float64, error) {
+	_, r, err := Superpose(a, b, nil)
+	return r, err
+}
+
+// maxEigenvector4 finds the eigenvector of the largest eigenvalue of a
+// symmetric 4x4 matrix via shifted power iteration.
+func maxEigenvector4(k [4][4]float64) ([4]float64, error) {
+	// Shift to make the target eigenvalue the largest in magnitude:
+	// add lambda_max bound (Gershgorin) to the diagonal.
+	bound := 0.0
+	for i := 0; i < 4; i++ {
+		row := 0.0
+		for j := 0; j < 4; j++ {
+			row += math.Abs(k[i][j])
+		}
+		if row > bound {
+			bound = row
+		}
+	}
+	for i := 0; i < 4; i++ {
+		k[i][i] += bound
+	}
+	v := [4]float64{1, 0.02, 0.013, 0.007} // deterministic, unlikely orthogonal
+	for iter := 0; iter < 500; iter++ {
+		var nv [4]float64
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				nv[i] += k[i][j] * v[j]
+			}
+		}
+		norm := math.Sqrt(nv[0]*nv[0] + nv[1]*nv[1] + nv[2]*nv[2] + nv[3]*nv[3])
+		if norm == 0 {
+			return v, fmt.Errorf("analysis: power iteration collapsed")
+		}
+		for i := range nv {
+			nv[i] /= norm
+		}
+		diff := 0.0
+		for i := range nv {
+			diff += math.Abs(nv[i] - v[i])
+		}
+		v = nv
+		if diff < 1e-14 {
+			break
+		}
+	}
+	return v, nil
+}
+
+// quatToRot converts a unit quaternion (w, x, y, z) to a rotation matrix.
+func quatToRot(q [4]float64) vec.T33 {
+	w, x, y, z := q[0], q[1], q[2], q[3]
+	return vec.T33{
+		XX: w*w + x*x - y*y - z*z, XY: 2 * (x*y - w*z), XZ: 2 * (x*z + w*y),
+		YX: 2 * (x*y + w*z), YY: w*w - x*x + y*y - z*z, YZ: 2 * (y*z - w*x),
+		ZX: 2 * (x*z - w*y), ZY: 2 * (y*z + w*x), ZZ: w*w - x*x - y*y + z*z,
+	}
+}

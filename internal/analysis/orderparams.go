@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+
+	"anton/internal/vec"
+)
+
+// BondVectorSeries is a trajectory of one bond's unit vectors after
+// superposition of the molecule onto a reference frame (removing overall
+// rotation, as in the method of paper reference [24]).
+type BondVectorSeries []vec.V3
+
+// OrderParameter computes the generalized backbone amide order parameter
+// S² of a bond-vector series:
+//
+//	S² = (3/2) * sum_{a,b in xyz} <u_a u_b>² - 1/2
+//
+// which is the long-time plateau of the internal P2 autocorrelation
+// function. S² near 1 means the bond direction barely fluctuates (a rigid
+// amino acid); lower values mean more motion — exactly the quantity
+// compared between Anton, Desmond and NMR in Figure 6.
+func OrderParameter(series BondVectorSeries) (float64, error) {
+	if len(series) == 0 {
+		return 0, fmt.Errorf("analysis: empty bond vector series")
+	}
+	var xx, yy, zz, xy, xz, yz float64
+	for _, v := range series {
+		u := v.Unit()
+		xx += u.X * u.X
+		yy += u.Y * u.Y
+		zz += u.Z * u.Z
+		xy += u.X * u.Y
+		xz += u.X * u.Z
+		yz += u.Y * u.Z
+	}
+	n := float64(len(series))
+	xx /= n
+	yy /= n
+	zz /= n
+	xy /= n
+	xz /= n
+	yz /= n
+	s2 := 1.5*(xx*xx+yy*yy+zz*zz+2*(xy*xy+xz*xz+yz*yz)) - 0.5
+	return s2, nil
+}
+
+// OrderParametersFromTrajectory extracts S² for each (i, j) bond pair from
+// a trajectory of full coordinate frames: each frame is superposed onto
+// the first frame using the alignment selection, then the bond unit
+// vectors are accumulated.
+func OrderParametersFromTrajectory(frames [][]vec.V3, alignSel []int, bonds [][2]int) ([]float64, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("analysis: empty trajectory")
+	}
+	series := make([]BondVectorSeries, len(bonds))
+	// Weighted superposition of the full frame onto the first frame, with
+	// only the alignment selection carrying weight: the transform is
+	// determined by the selection and applied to every atom.
+	w := make([]float64, len(frames[0]))
+	for _, s := range alignSel {
+		w[s] = 1
+	}
+	for _, frame := range frames {
+		aligned, _, err := Superpose(frames[0], frame, w)
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range bonds {
+			series[bi] = append(series[bi], aligned[b[1]].Sub(aligned[b[0]]))
+		}
+	}
+	out := make([]float64, len(bonds))
+	for i := range bonds {
+		s2, err := OrderParameter(series[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s2
+	}
+	return out, nil
+}
+
+// NativeContacts identifies residue-pair contacts in a reference
+// structure: pairs of positions closer than cutoff with sequence
+// separation >= minSep.
+func NativeContacts(ref []vec.V3, cutoff float64, minSep int) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(ref); i++ {
+		for j := i + minSep; j < len(ref); j++ {
+			if vec.Dist(ref[i], ref[j]) <= cutoff {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// ContactFraction returns Q: the fraction of native contacts currently
+// formed (within tolerance*native distance) — the folding order
+// parameter used to detect the unfolding and refolding events of
+// Figure 7.
+func ContactFraction(ref, current []vec.V3, contacts [][2]int, tolerance float64) float64 {
+	if len(contacts) == 0 {
+		return 0
+	}
+	formed := 0
+	for _, c := range contacts {
+		dRef := vec.Dist(ref[c[0]], ref[c[1]])
+		if vec.Dist(current[c[0]], current[c[1]]) <= dRef*tolerance {
+			formed++
+		}
+	}
+	return float64(formed) / float64(len(contacts))
+}
+
+// TransitionCount counts crossings of a Q(t) series between a folded
+// threshold (above) and an unfolded threshold (below), with hysteresis:
+// a transition is recorded each time the series moves from one basin to
+// the other.
+func TransitionCount(q []float64, foldedAbove, unfoldedBelow float64) int {
+	const (
+		unknown = iota
+		folded
+		unfolded
+	)
+	state := unknown
+	transitions := 0
+	for _, v := range q {
+		switch {
+		case v >= foldedAbove:
+			if state == unfolded {
+				transitions++
+			}
+			state = folded
+		case v <= unfoldedBelow:
+			if state == folded {
+				transitions++
+			}
+			state = unfolded
+		}
+	}
+	return transitions
+}

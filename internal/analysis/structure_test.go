@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anton/internal/vec"
+)
+
+func TestRDFIdealGasIsFlat(t *testing.T) {
+	// Uniform random points: g(r) ~ 1 everywhere.
+	box := vec.Cube(20)
+	rng := rand.New(rand.NewSource(3))
+	var frames [][]vec.V3
+	sel := make([]int, 200)
+	for i := range sel {
+		sel[i] = i
+	}
+	for f := 0; f < 10; f++ {
+		frame := make([]vec.V3, 200)
+		for i := range frame {
+			frame[i] = vec.V3{X: rng.Float64() * 20, Y: rng.Float64() * 20, Z: rng.Float64() * 20}
+		}
+		frames = append(frames, frame)
+	}
+	r, g, err := RDF(frames, box, sel, sel, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the first couple of bins (poor statistics), g ~ 1.
+	for b := 4; b < len(g); b++ {
+		if math.Abs(g[b]-1) > 0.35 {
+			t.Errorf("ideal gas g(%.2f) = %.2f, want ~1", r[b], g[b])
+		}
+	}
+}
+
+func TestRDFLatticePeaks(t *testing.T) {
+	// A perfect cubic lattice with spacing a: sharp peak at r = a.
+	box := vec.Cube(16)
+	var frame []vec.V3
+	const a = 4.0
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			for z := 0; z < 4; z++ {
+				frame = append(frame, vec.V3{X: float64(x) * a, Y: float64(y) * a, Z: float64(z) * a})
+			}
+		}
+	}
+	sel := make([]int, len(frame))
+	for i := range sel {
+		sel[i] = i
+	}
+	r, g, err := RDF([][]vec.V3{frame}, box, sel, sel, 7.9, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, height, ok := FirstPeak(r, g, 1.5)
+	if !ok {
+		t.Fatal("no peak found for a lattice")
+	}
+	if math.Abs(pos-a) > 0.2 {
+		t.Errorf("first peak at %.2f, want %.1f", pos, a)
+	}
+	if height < 5 {
+		t.Errorf("lattice peak height %.1f implausibly low", height)
+	}
+}
+
+func TestRDFErrors(t *testing.T) {
+	box := vec.Cube(10)
+	if _, _, err := RDF(nil, box, []int{0}, []int{0}, 5, 10); err == nil {
+		t.Error("empty frames accepted")
+	}
+	if _, _, err := RDF([][]vec.V3{{{X: 1}}}, box, []int{0}, []int{0}, -1, 10); err == nil {
+		t.Error("negative range accepted")
+	}
+}
+
+func TestMSDBallistic(t *testing.T) {
+	// Constant-velocity motion: MSD(t) = (v*t)^2.
+	var frames [][]vec.V3
+	v := vec.V3{X: 0.1}
+	for f := 0; f < 20; f++ {
+		frames = append(frames, []vec.V3{v.Scale(float64(f))})
+	}
+	msd, err := MeanSquareDisplacement(frames, []int{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag := 1; lag < len(msd); lag++ {
+		want := math.Pow(0.1*float64(lag), 2)
+		if math.Abs(msd[lag]-want) > 1e-12 {
+			t.Fatalf("MSD(%d) = %g, want %g", lag, msd[lag], want)
+		}
+	}
+}
+
+func TestDiffusionCoefficientRandomWalk(t *testing.T) {
+	// A discrete 3D random walk with step s every dt: D = s^2/(6*dt).
+	rng := rand.New(rand.NewSource(7))
+	const (
+		nWalkers = 400
+		nSteps   = 120
+		s        = 0.5
+		dt       = 10.0
+	)
+	pos := make([]vec.V3, nWalkers)
+	var frames [][]vec.V3
+	var times []float64
+	for step := 0; step < nSteps; step++ {
+		frames = append(frames, append([]vec.V3(nil), pos...))
+		times = append(times, float64(step)*dt)
+		for i := range pos {
+			axis := rng.Intn(3)
+			sign := float64(rng.Intn(2)*2 - 1)
+			switch axis {
+			case 0:
+				pos[i].X += sign * s
+			case 1:
+				pos[i].Y += sign * s
+			case 2:
+				pos[i].Z += sign * s
+			}
+		}
+	}
+	sel := make([]int, nWalkers)
+	for i := range sel {
+		sel[i] = i
+	}
+	msd, err := MeanSquareDisplacement(frames, sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffusionCoefficient(times, msd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s * s / (6 * dt)
+	if math.Abs(d-want) > 0.25*want {
+		t.Errorf("D = %g, want %g", d, want)
+	}
+}
+
+func TestVelocityAutocorrelation(t *testing.T) {
+	// Constant velocities: C(t) = 1 for all lags.
+	var frames [][]vec.V3
+	for f := 0; f < 10; f++ {
+		frames = append(frames, []vec.V3{{X: 0.3}, {Y: -0.2}})
+	}
+	acf, err := VelocityAutocorrelation(frames, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag, c := range acf {
+		if math.Abs(c-1) > 1e-12 {
+			t.Fatalf("constant-velocity ACF at lag %d: %g", lag, c)
+		}
+	}
+	// Alternating velocities: C oscillates between +1 and -1.
+	frames = nil
+	for f := 0; f < 8; f++ {
+		sign := float64(1 - 2*(f%2))
+		frames = append(frames, []vec.V3{{X: sign}})
+	}
+	acf, _ = VelocityAutocorrelation(frames, []int{0}, 1)
+	if math.Abs(acf[1]+1) > 1e-12 || math.Abs(acf[2]-1) > 1e-12 {
+		t.Errorf("alternating ACF wrong: %v", acf[:3])
+	}
+	// Random velocities decorrelate.
+	rng := rand.New(rand.NewSource(5))
+	frames = nil
+	for f := 0; f < 50; f++ {
+		fr := make([]vec.V3, 300)
+		for i := range fr {
+			fr[i] = vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		}
+		frames = append(frames, fr)
+	}
+	sel := make([]int, 300)
+	for i := range sel {
+		sel[i] = i
+	}
+	acf, _ = VelocityAutocorrelation(frames, sel, 1)
+	if math.Abs(acf[5]) > 0.1 {
+		t.Errorf("random ACF at lag 5: %g", acf[5])
+	}
+}

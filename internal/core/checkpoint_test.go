@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointResumesBitwise(t *testing.T) {
+	// Run A: 20 uninterrupted steps. Run B: 10 steps, checkpoint, restore
+	// into a fresh engine, 10 more. Final states must match bit for bit.
+	a := smallWaterEngine(t, 8, nil)
+	a.Step(20)
+	pa, va := a.Snapshot()
+
+	b1 := smallWaterEngine(t, 8, nil)
+	b1.Step(10)
+	var buf bytes.Buffer
+	if err := b1.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2 := smallWaterEngine(t, 8, nil) // fresh engine, same system/config
+	if err := b2.RestoreCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b2.StepCount() != 10 {
+		t.Fatalf("restored step count %d", b2.StepCount())
+	}
+	b2.Step(10)
+	pb, vb := b2.Snapshot()
+	for i := range pa {
+		if pa[i] != pb[i] || va[i] != vb[i] {
+			t.Fatalf("restored trajectory diverged at atom %d", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	a := smallWaterEngine(t, 8, nil)
+	var buf bytes.Buffer
+	if err := a.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic.
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if err := a.RestoreCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	// Wrong system size.
+	ion := ionicEngine(t, 8, nil)
+	var buf2 bytes.Buffer
+	if err := ion.WriteCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RestoreCheckpoint(&buf2); err == nil {
+		t.Error("checkpoint from a different system accepted")
+	}
+}

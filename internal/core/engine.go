@@ -1,0 +1,995 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anton/internal/ewald"
+	"anton/internal/ff"
+	"anton/internal/fixp"
+	"anton/internal/htis"
+	"anton/internal/machine"
+	"anton/internal/nt"
+	"anton/internal/system"
+	"anton/internal/vec"
+)
+
+// Config tunes the Anton engine.
+type Config struct {
+	Nodes             int     // power-of-two node count (1..32768)
+	Dt                float64 // time step, fs (paper: 2.5)
+	MTSInterval       int     // long-range every k steps (paper: 2)
+	MigrationInterval int     // steps between atom migrations (paper: 4-8)
+	Slack             float64 // import-region expansion, Å (§3.2.4)
+
+	// Berendsen temperature control; TauT <= 0 gives NVE (required for
+	// the exact-reversibility property).
+	TargetT float64
+	TauT    float64
+
+	// EwaldTol sets the real-space screening at the cutoff.
+	EwaldTol float64
+
+	// Workers caps the number of concurrent force workers (0 = use up to
+	// 16 or GOMAXPROCS, whichever is smaller). The trajectory is bitwise
+	// identical for any value — wrapping accumulation is associative.
+	Workers int
+
+	// TrackVirial accumulates the range-limited virial tensor in wide
+	// fixed-point accumulators during force evaluation (paper Figure 4c:
+	// the 86-bit datapaths that keep pressure-controlled simulations
+	// deterministic and parallel-invariant).
+	TrackVirial bool
+}
+
+// DefaultConfig mirrors the paper's standard simulation parameters.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:             nodes,
+		Dt:                2.5,
+		MTSInterval:       2,
+		MigrationInterval: 4,
+		Slack:             4.5,
+		TargetT:           300,
+		TauT:              100,
+		EwaldTol:          1e-5,
+	}
+}
+
+// Stats counts the work the simulated hardware performed.
+type Stats struct {
+	Steps            int
+	PairsConsidered  int64 // candidates examined by match units
+	PairsMatched     int64 // passed the low-precision check
+	PairsComputed    int64 // inside the exact cutoff (PPIP work)
+	MeshInteractions int64 // atom-mesh-point interactions (spread+interp)
+	Migrations       int
+}
+
+// MatchEfficiency returns computed/considered, the hardware utilization
+// figure of Table 3.
+func (s Stats) MatchEfficiency() float64 {
+	if s.PairsConsidered == 0 {
+		return 0
+	}
+	return float64(s.PairsComputed) / float64(s.PairsConsidered)
+}
+
+// Engine is the fixed-point Anton MD engine.
+type Engine struct {
+	Sys  *system.System
+	Cfg  Config
+	Mach *machine.Machine
+
+	Coder PosCoder
+	Pipe  *htis.Pipeline
+	Split ewald.Split
+
+	Pos []fixp.Vec3
+	Vel []Vel3
+
+	fShort []Force3 // per-step range-limited + bonded forces
+	fLong  []Force3 // long-range impulse forces (unscaled), refreshed every MTS interval
+
+	step int
+
+	// Spatial decomposition: home boxes (one per node, ownership and NT
+	// assignment) refined into subboxes (match-unit work granularity,
+	// §3.2.1 / Figure 3e-f).
+	grid     nt.Grid
+	boxSide  [3]float64
+	boxOf    []int32   // home box per atom
+	boxAtoms [][]int32 // resident atoms per box, sorted
+	groups   [][]int   // constraint groups (incl. singletons), sorted
+	groupOf  []int32   // group index per atom
+
+	subGrid  nt.Grid    // global subbox grid (boxes x subboxes per edge)
+	subSide  [3]float64 // subbox edge lengths
+	subSlack float64    // how far an atom may drift from its subbox
+	subOf    []int32    // subbox per atom (assigned individually)
+	subAtoms [][]int32  // resident atoms per subbox, sorted
+	subPairs [][2]int32 // interacting subbox pairs (linear ids)
+
+	// Static interaction bookkeeping.
+	skipSet  map[uint64]bool // excluded + 1-4 pairs (not computed by HTIS)
+	exclList [][2]int32      // sorted exclusion list (correction pipeline)
+	pair14   []ff.Pair14
+
+	mesh *meshSolver
+
+	// groupConstraints caches constraint indices per group (built lazily
+	// on first SHAKE call).
+	groupConstraints [][]int
+
+	// workerF holds per-worker force accumulation buffers.
+	workerF [][]Force3
+
+	// ljPairs caches the Lorentz-Berthelot combined parameters per
+	// LJ-type pair (the parameter values a PPIP receives alongside each
+	// pair), indexed ti*nTypes+tj.
+	ljPairs []struct{ sigma, eps float64 }
+	nTypes  int
+
+	mu *htis.MatchUnit
+
+	Stats Stats
+
+	// Energies of the last force evaluation (diagnostic, float).
+	PotentialEnergy float64
+	longRangeEnergy float64
+
+	// Breakdown holds the per-component energies of the last evaluation.
+	Breakdown EnergyBreakdown
+
+	// virial is the range-limited virial of the last force evaluation
+	// (valid when Cfg.TrackVirial is set).
+	virial htis.Virial
+}
+
+// NewEngine builds the engine for a system on an Anton machine with the
+// given node count.
+func NewEngine(s *system.System, cfg Config) (*Engine, error) {
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("core: non-positive time step")
+	}
+	if cfg.MTSInterval < 1 {
+		cfg.MTSInterval = 1
+	}
+	if cfg.MigrationInterval < 1 {
+		cfg.MigrationInterval = 1
+	}
+	if cfg.EwaldTol == 0 {
+		cfg.EwaldTol = 1e-5
+	}
+	if cfg.Slack <= 0 {
+		cfg.Slack = 4.5
+	}
+	m, err := machine.New(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	split := ewald.Split{
+		Sigma:  ewald.SigmaForCutoff(s.Cutoff, cfg.EwaldTol),
+		Cutoff: s.Cutoff,
+	}
+	// The stored position format is 2*x/L (state.go), so one unit of a
+	// stored displacement corresponds to L/2 Å; the pipeline and match
+	// unit are configured with that conversion scale.
+	pipe, err := htis.NewPipeline(s.Box.L.X/2, split)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Sys:    s,
+		Cfg:    cfg,
+		Mach:   m,
+		Coder:  PosCoder{L: s.Box.L.X},
+		Pipe:   pipe,
+		Split:  split,
+		Pos:    make([]fixp.Vec3, s.NAtoms()),
+		Vel:    make([]Vel3, s.NAtoms()),
+		fShort: make([]Force3, s.NAtoms()),
+		fLong:  make([]Force3, s.NAtoms()),
+		grid:   m.Grid(),
+		mu:     htis.NewMatchUnit(s.Box.L.X/2, s.Cutoff, 8),
+	}
+	e.boxSide = m.BoxSide(s.Box.L.X)
+
+	// Quantize the initial state.
+	for i, r := range s.R {
+		e.Pos[i] = e.Coder.Encode(r)
+	}
+	e.placeVSitesFixed()
+
+	// Static skip set and sorted exclusion list.
+	e.skipSet = make(map[uint64]bool, s.Top.NumExclusions()+len(s.Top.Pairs14))
+	s.Top.ExcludedPairs(func(i, j int) {
+		e.skipSet[pairKey(i, j)] = true
+		e.exclList = append(e.exclList, [2]int32{int32(i), int32(j)})
+	})
+	sort.Slice(e.exclList, func(a, b int) bool {
+		if e.exclList[a][0] != e.exclList[b][0] {
+			return e.exclList[a][0] < e.exclList[b][0]
+		}
+		return e.exclList[a][1] < e.exclList[b][1]
+	})
+	for _, p := range s.Top.Pairs14 {
+		e.skipSet[pairKey(p.I, p.J)] = true
+	}
+	e.pair14 = s.Top.Pairs14
+
+	// Constraint groups, extended with singletons so every atom belongs
+	// to exactly one group whose leader determines the home box.
+	e.groupOf = make([]int32, s.NAtoms())
+	for i := range e.groupOf {
+		e.groupOf[i] = -1
+	}
+	for _, g := range s.Top.ConstraintGroups() {
+		idx := len(e.groups)
+		e.groups = append(e.groups, g)
+		for _, a := range g {
+			e.groupOf[a] = int32(idx)
+		}
+	}
+	for i := 0; i < s.NAtoms(); i++ {
+		if e.groupOf[i] < 0 {
+			e.groupOf[i] = int32(len(e.groups))
+			e.groups = append(e.groups, []int{i})
+		}
+	}
+
+	// Subbox grid: each home box divided into a regular array of subboxes
+	// (§3.2.1); atoms are assigned to subboxes individually at migration,
+	// so the only slack needed is the drift accumulated between
+	// migrations. The interacting subbox pairs are enumerated once with
+	// the slack-expanded reach; the match units still apply the physical
+	// cutoff, so the computed interaction set is exactly the within-cutoff
+	// pairs (§3.2.4).
+	const targetSubSide = 4.4 // Å
+	subDims := [3]int{}
+	for a := 0; a < 3; a++ {
+		per := int(e.boxSide[a] / targetSubSide)
+		if per < 1 {
+			per = 1
+		}
+		subDims[a] = m.Dims[a] * per
+		e.subSide[a] = s.Box.L.X / float64(subDims[a])
+	}
+	e.subGrid = nt.Grid{Nx: subDims[0], Ny: subDims[1], Nz: subDims[2]}
+	e.subSlack = 0.45*float64(cfg.MigrationInterval) + 0.45
+	reach := s.Cutoff + 2*e.subSlack
+	nt.BoxPairsWithinCutoff(e.subGrid, e.subSide, reach, func(a, b nt.BoxCoord) {
+		e.subPairs = append(e.subPairs, [2]int32{int32(e.subGrid.Index(a)), int32(e.subGrid.Index(b))})
+	})
+
+	// Combined LJ parameter table.
+	e.nTypes = len(s.Params.LJTypes)
+	e.ljPairs = make([]struct{ sigma, eps float64 }, e.nTypes*e.nTypes)
+	for ti := 0; ti < e.nTypes; ti++ {
+		for tj := 0; tj < e.nTypes; tj++ {
+			sg, ep := s.Params.LJPair(ti, tj)
+			e.ljPairs[ti*e.nTypes+tj] = struct{ sigma, eps float64 }{sg, ep}
+		}
+	}
+
+	// Mesh solver.
+	e.mesh, err = newMeshSolver(s, split)
+	if err != nil {
+		return nil, err
+	}
+
+	e.migrate()
+	return e, nil
+}
+
+func pairKey(i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(uint32(j))
+}
+
+// SetVelocities quantizes and installs initial velocities.
+func (e *Engine) SetVelocities(v []vec.V3) {
+	for i := range v {
+		if e.Sys.Top.Atoms[i].Mass == 0 {
+			e.Vel[i] = Vel3{}
+			continue
+		}
+		e.Vel[i] = EncodeVel(v[i])
+	}
+}
+
+// NegateVelocities flips all velocities exactly (the reversibility
+// experiment of §4).
+func (e *Engine) NegateVelocities() {
+	for i := range e.Vel {
+		e.Vel[i] = e.Vel[i].Neg()
+	}
+}
+
+// Positions returns the decoded positions (Å).
+func (e *Engine) Positions() []vec.V3 {
+	out := make([]vec.V3, len(e.Pos))
+	for i, p := range e.Pos {
+		out[i] = e.Coder.Decode(p)
+	}
+	return out
+}
+
+// Velocities returns the decoded velocities (Å/fs).
+func (e *Engine) Velocities() []vec.V3 {
+	out := make([]vec.V3, len(e.Vel))
+	for i, v := range e.Vel {
+		out[i] = v.Float()
+	}
+	return out
+}
+
+// Snapshot captures the exact fixed-point state for bitwise comparison.
+func (e *Engine) Snapshot() ([]fixp.Vec3, []Vel3) {
+	return append([]fixp.Vec3(nil), e.Pos...), append([]Vel3(nil), e.Vel...)
+}
+
+// StepCount returns the completed step count.
+func (e *Engine) StepCount() int { return e.step }
+
+// migrate reassigns constraint groups to home boxes based on the group
+// leader's current position (§3.2.4: all atoms of a constraint group
+// reside on the same node, which takes full responsibility for them).
+func (e *Engine) migrate() {
+	n := e.grid.NumBoxes()
+	e.boxAtoms = make([][]int32, n)
+	if e.boxOf == nil {
+		e.boxOf = make([]int32, len(e.Pos))
+	}
+	for _, g := range e.groups {
+		leader := g[0]
+		r := e.Coder.Decode(e.Pos[leader])
+		bx := int(r.X / e.boxSide[0])
+		by := int(r.Y / e.boxSide[1])
+		bz := int(r.Z / e.boxSide[2])
+		c := e.grid.Wrap(nt.BoxCoord{X: bx, Y: by, Z: bz})
+		idx := int32(e.grid.Index(c))
+		for _, a := range g {
+			e.boxOf[a] = idx
+			e.boxAtoms[idx] = append(e.boxAtoms[idx], int32(a))
+		}
+	}
+	for i := range e.boxAtoms {
+		sort.Slice(e.boxAtoms[i], func(a, b int) bool { return e.boxAtoms[i][a] < e.boxAtoms[i][b] })
+	}
+	// Subbox assignment is per atom (pair discovery does not depend on
+	// ownership), so the residency slack only has to cover inter-
+	// migration drift. Scan order makes each list sorted by construction.
+	ns := e.subGrid.NumBoxes()
+	e.subAtoms = make([][]int32, ns)
+	if e.subOf == nil {
+		e.subOf = make([]int32, len(e.Pos))
+	}
+	for i := range e.Pos {
+		r := e.Coder.Decode(e.Pos[i])
+		c := e.subGrid.Wrap(nt.BoxCoord{
+			X: int(r.X / e.subSide[0]),
+			Y: int(r.Y / e.subSide[1]),
+			Z: int(r.Z / e.subSide[2]),
+		})
+		idx := int32(e.subGrid.Index(c))
+		e.subOf[i] = idx
+		e.subAtoms[idx] = append(e.subAtoms[idx], int32(i))
+	}
+	e.Stats.Migrations++
+}
+
+// Step advances n time steps.
+func (e *Engine) Step(n int) {
+	if e.step == 0 {
+		e.computeForces(true)
+	}
+	for i := 0; i < n; i++ {
+		e.stepOnce()
+	}
+}
+
+// totalForce returns the force on atom i including the MTS long-range
+// impulse weighting for the current step.
+func (e *Engine) totalForce(i int, withLong bool) Force3 {
+	f := e.fShort[i]
+	if withLong {
+		f = f.Add(e.fLong[i].Scale(int64(e.Cfg.MTSInterval)))
+	}
+	return f
+}
+
+// stepOnce performs one velocity-Verlet step in fixed point.
+func (e *Engine) stepOnce() {
+	top := e.Sys.Top
+	dt := e.Cfg.Dt
+	// The long-range impulse is applied on the steps where it is
+	// (re)evaluated; with the Verlet splitting both half-kicks around the
+	// evaluation carry it.
+	withLongNow := e.step%e.Cfg.MTSInterval == 0
+
+	// First half kick.
+	for i, a := range top.Atoms {
+		if a.Mass == 0 {
+			continue
+		}
+		e.kick(i, a.Mass, dt/2, withLongNow)
+	}
+	// Drift.
+	oldPos := append([]fixp.Vec3(nil), e.Pos...)
+	cd := VelQuantum * dt * 2 / e.Coder.L * math.Exp2(float64(fixp.FracBits))
+	for i, a := range top.Atoms {
+		if a.Mass == 0 {
+			continue
+		}
+		e.Pos[i] = e.Pos[i].Add(fixp.Vec3{
+			X: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].X) * cd))),
+			Y: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Y) * cd))),
+			Z: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Z) * cd))),
+		})
+	}
+	// Constraints (SHAKE) per group, then virtual sites.
+	e.shakeFixed(oldPos, dt)
+	e.placeVSitesFixed()
+
+	e.step++
+	withLongNext := e.step%e.Cfg.MTSInterval == 0
+	e.computeForces(withLongNext)
+
+	// Second half kick.
+	for i, a := range top.Atoms {
+		if a.Mass == 0 {
+			continue
+		}
+		e.kick(i, a.Mass, dt/2, withLongNext)
+	}
+	e.rattleFixed()
+	if e.Cfg.TauT > 0 {
+		e.berendsenFixed()
+	}
+
+	// Deferred migration (§3.2.4).
+	if e.step%e.Cfg.MigrationInterval == 0 {
+		e.migrate()
+	}
+	e.Stats.Steps++
+}
+
+// kick applies a half-kick: v += round(F * c) with the symmetric
+// round-to-nearest/even rule, preserving exact reversibility.
+func (e *Engine) kick(i int, mass, halfDt float64, withLong bool) {
+	f := e.totalForce(i, withLong)
+	c := htis.ForceQuantum * ff.ForceToAccel * halfDt / mass / VelQuantum
+	e.Vel[i].X += int64(math.RoundToEven(float64(f.X) * c))
+	e.Vel[i].Y += int64(math.RoundToEven(float64(f.Y) * c))
+	e.Vel[i].Z += int64(math.RoundToEven(float64(f.Z) * c))
+}
+
+// EnergyBreakdown separates the potential energy by force component —
+// the rows of Table 2, as energies.
+type EnergyBreakdown struct {
+	RangeLimited float64 // screened electrostatics + LJ within the cutoff
+	Bonded       float64 // bonds + angles + dihedrals
+	Mesh         float64 // long-range (k-space) including self correction
+	Correction   float64 // excluded-pair and scaled 1-4 corrections
+}
+
+// Total sums the components.
+func (b EnergyBreakdown) Total() float64 {
+	return b.RangeLimited + b.Bonded + b.Mesh + b.Correction
+}
+
+// computeForces evaluates the short-range terms every step and the
+// long-range terms when refresh is true.
+func (e *Engine) computeForces(refreshLong bool) {
+	e.checkResidency()
+	for i := range e.fShort {
+		e.fShort[i] = Force3{}
+	}
+	e.Breakdown.RangeLimited = e.rangeLimitedForces()
+	e.Breakdown.Bonded = e.bondedForces()
+	// Scaled 1-4 interactions are stiff and short-range: fast loop.
+	e.Breakdown.Correction = e.pair14Forces()
+	if refreshLong {
+		for i := range e.fLong {
+			e.fLong[i] = Force3{}
+		}
+		e.Breakdown.Mesh = e.meshForces() + e.exclusionCorrections()
+		e.longRangeEnergy = e.Breakdown.Mesh
+		e.spreadVSiteForceCounts(e.fLong)
+	} else {
+		// The stale long-range component persists between MTS refreshes.
+		e.Breakdown.Mesh = e.longRangeEnergy
+	}
+	e.spreadVSiteForceCounts(e.fShort)
+	e.PotentialEnergy = e.Breakdown.Total()
+}
+
+// rangeLimitedForces runs the NT-decomposed HTIS computation: every
+// interacting box pair is processed by its neutral-territory node; match
+// units prefilter, PPIPs compute, forces accumulate in wrapping counts.
+func (e *Engine) rangeLimitedForces() float64 {
+	top := e.Sys.Top
+	workers := e.workers()
+	bufs := e.forceBuffers(workers, len(e.fShort))
+	energies := make([]float64, workers)
+	type tally struct{ considered, matched, computed int64 }
+	tallies := make([]tally, workers)
+	virials := make([]htis.Virial, workers)
+	parallelChunks(len(e.subPairs), workers, func(w, lo, hi int) {
+		buf := bufs[w]
+		var energy float64
+		var t tally
+		vir := &virials[w]
+		for _, bp := range e.subPairs[lo:hi] {
+			a := e.subAtoms[bp[0]]
+			b := e.subAtoms[bp[1]]
+			same := bp[0] == bp[1]
+			for ia := 0; ia < len(a); ia++ {
+				i := a[ia]
+				start := 0
+				if same {
+					start = ia + 1
+				}
+				for ib := start; ib < len(b); ib++ {
+					j := b[ib]
+					t.considered++
+					d := e.Pos[i].Sub(e.Pos[j])
+					if !e.mu.MayInteract(d) {
+						continue
+					}
+					t.matched++
+					if e.skipSet[pairKey(int(i), int(j))] {
+						continue
+					}
+					ai, aj := top.Atoms[i], top.Atoms[j]
+					lj := e.ljPairs[ai.LJType*e.nTypes+aj.LJType]
+					res := e.Pipe.PairForce(d, htis.PairParams{
+						QQ:      ff.CoulombK * ai.Charge * aj.Charge,
+						Sigma:   lj.sigma,
+						Epsilon: lj.eps,
+					})
+					if !res.Within {
+						continue
+					}
+					t.computed++
+					buf[i] = buf[i].AddRaw(res.FX, res.FY, res.FZ)
+					buf[j] = buf[j].AddRaw(-res.FX, -res.FY, -res.FZ)
+					energy += res.Energy
+					if e.Cfg.TrackVirial {
+						// r_ij (x) F_ij in raw position counts and force
+						// counts: wide wrapping accumulation keeps the
+						// tensor order-independent (Figure 4c).
+						vir.Add(res.FX, res.FY, res.FZ,
+							int64(int32(d.X)), int64(int32(d.Y)), int64(int32(d.Z)))
+					}
+				}
+			}
+		}
+		energies[w] = energy
+		tallies[w] = t
+	})
+	mergeForces(e.fShort, bufs)
+	energy := 0.0
+	if e.Cfg.TrackVirial {
+		e.virial = htis.Virial{}
+	}
+	for w := 0; w < workers; w++ {
+		energy += energies[w]
+		e.Stats.PairsConsidered += tallies[w].considered
+		e.Stats.PairsMatched += tallies[w].matched
+		e.Stats.PairsComputed += tallies[w].computed
+		if e.Cfg.TrackVirial {
+			e.virial.Merge(&virials[w])
+		}
+	}
+	return energy
+}
+
+// bondedForces evaluates each bond term once (on its statically assigned
+// geometry core) from the quantized positions and accumulates the
+// quantized per-atom contributions.
+func (e *Engine) bondedForces() float64 {
+	top := e.Sys.Top
+	box := e.Sys.Box
+	nTerms := len(top.Bonds) + len(top.Angles) + len(top.Dihedrals) + len(top.Impropers)
+	if nTerms == 0 {
+		return 0
+	}
+	r := e.Positions()
+	workers := e.workers()
+	bufs := e.forceBuffers(workers, len(r))
+	energies := make([]float64, workers)
+	// The flat term index covers bonds, then angles, then dihedrals —
+	// mirroring the static assignment of bond terms to geometry cores.
+	parallelChunks(nTerms, workers, func(w, lo, hi int) {
+		buf := bufs[w]
+		scratch := make([]vec.V3, len(r))
+		energy := 0.0
+		addTerm := func(atoms [4]int, n int, eTerm float64) {
+			energy += eTerm
+			for _, a := range atoms[:n] {
+				buf[a] = buf[a].AddRaw(
+					htis.QuantizeForce(scratch[a].X),
+					htis.QuantizeForce(scratch[a].Y),
+					htis.QuantizeForce(scratch[a].Z),
+				)
+				scratch[a] = vec.Zero
+			}
+		}
+		for t := lo; t < hi; t++ {
+			switch {
+			case t < len(top.Bonds):
+				b := &top.Bonds[t]
+				addTerm([4]int{b.I, b.J}, 2, ff.BondForce(b, box, r, scratch))
+			case t < len(top.Bonds)+len(top.Angles):
+				a := &top.Angles[t-len(top.Bonds)]
+				addTerm([4]int{a.I, a.J, a.K}, 3, ff.AngleForce(a, box, r, scratch))
+			case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
+				d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
+				addTerm([4]int{d.I, d.J, d.K, d.L}, 4, ff.DihedralForce(d, box, r, scratch))
+			default:
+				im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
+				addTerm([4]int{im.I, im.J, im.K, im.L}, 4, ff.ImproperForce(im, box, r, scratch))
+			}
+		}
+		energies[w] = energy
+	})
+	mergeForces(e.fShort, bufs)
+	energy := 0.0
+	for _, ew := range energies {
+		energy += ew
+	}
+	return energy
+}
+
+// exclusionCorrections runs the correction pipeline's slow-cadence part:
+// subtract the mesh's smooth-component contribution for excluded pairs
+// (§3.2.3). The smooth kernel is bounded and slowly varying, so it
+// belongs with the long-range impulse. Accumulates into fLong.
+func (e *Engine) exclusionCorrections() float64 {
+	top := e.Sys.Top
+	workers := e.workers()
+	bufs := e.forceBuffers(workers, len(e.fLong))
+	energies := make([]float64, workers)
+	parallelChunks(len(e.exclList), workers, func(w, lo, hi int) {
+		buf := bufs[w]
+		energy := 0.0
+		for _, p := range e.exclList[lo:hi] {
+			i, j := p[0], p[1]
+			qi, qj := top.Atoms[i].Charge, top.Atoms[j].Charge
+			if qi == 0 || qj == 0 {
+				continue
+			}
+			d := e.Coder.DeltaToPhys(e.Pos[i].Sub(e.Pos[j]))
+			r2 := d.Norm2()
+			if r2 < 1e-12 {
+				continue
+			}
+			es, fs := e.Split.SmoothPair(r2, qi, qj)
+			energy -= es
+			fv := d.Scale(-fs)
+			fx := htis.QuantizeForce(fv.X)
+			fy := htis.QuantizeForce(fv.Y)
+			fz := htis.QuantizeForce(fv.Z)
+			buf[i] = buf[i].AddRaw(fx, fy, fz)
+			buf[j] = buf[j].AddRaw(-fx, -fy, -fz)
+		}
+		energies[w] += energy
+	})
+	mergeForces(e.fLong, bufs)
+	energy := 0.0
+	for _, ew := range energies {
+		energy += ew
+	}
+	return energy
+}
+
+// pair14Forces installs the scaled 1-4 interactions minus the mesh's
+// smooth part for those pairs. These are stiff bonded-range forces, so
+// they run in the fast loop (every step) on the correction pipeline.
+func (e *Engine) pair14Forces() float64 {
+	top := e.Sys.Top
+	ps := e.Sys.Params
+	energy := 0.0
+	for _, p := range e.pair14 {
+		ai, aj := top.Atoms[p.I], top.Atoms[p.J]
+		d := e.Coder.DeltaToPhys(e.Pos[p.I].Sub(e.Pos[p.J]))
+		r2 := d.Norm2()
+		var fs float64
+		if qq := ai.Charge * aj.Charge; qq != 0 {
+			es, f1 := e.Split.SmoothPair(r2, ai.Charge, aj.Charge)
+			energy -= es
+			fs -= f1
+			eb, f2 := ff.Coulomb(r2, ai.Charge, aj.Charge)
+			energy += top.Scale14Elec * eb
+			fs += top.Scale14Elec * f2
+		}
+		sigma, eps := ps.LJPair(ai.LJType, aj.LJType)
+		if eps != 0 {
+			el, f3 := ff.LJ126(r2, sigma, eps)
+			energy += top.Scale14LJ * el
+			fs += top.Scale14LJ * f3
+		}
+		fv := d.Scale(fs)
+		fx := htis.QuantizeForce(fv.X)
+		fy := htis.QuantizeForce(fv.Y)
+		fz := htis.QuantizeForce(fv.Z)
+		e.fShort[p.I] = e.fShort[p.I].AddRaw(fx, fy, fz)
+		e.fShort[p.J] = e.fShort[p.J].AddRaw(-fx, -fy, -fz)
+	}
+	return energy
+}
+
+// placeVSitesFixed recomputes virtual-site positions from their parents
+// in fixed point (deterministic per constraint group).
+func (e *Engine) placeVSitesFixed() {
+	for _, v := range e.Sys.Top.VSites {
+		dj := e.Coder.DeltaToPhys(e.Pos[v.J].Sub(e.Pos[v.I]))
+		dk := e.Coder.DeltaToPhys(e.Pos[v.K].Sub(e.Pos[v.I]))
+		ri := e.Coder.Decode(e.Pos[v.I])
+		site := ri.Add(dj.Scale(v.A)).Add(dk.Scale(v.B))
+		e.Pos[v.Site] = e.Coder.Encode(e.Sys.Box.Wrap(site))
+	}
+}
+
+// spreadVSiteForceCounts redistributes accumulated vsite force counts to
+// the parent atoms with quantized weights, then zeroes the site.
+func (e *Engine) spreadVSiteForceCounts(f []Force3) {
+	for _, v := range e.Sys.Top.VSites {
+		fs := f[v.Site]
+		if fs == (Force3{}) {
+			continue
+		}
+		wI := 1 - v.A - v.B
+		add := func(idx int, w float64) {
+			f[idx] = f[idx].AddRaw(
+				int64(math.RoundToEven(float64(fs.X)*w)),
+				int64(math.RoundToEven(float64(fs.Y)*w)),
+				int64(math.RoundToEven(float64(fs.Z)*w)),
+			)
+		}
+		add(v.I, wI)
+		add(v.J, v.A)
+		add(v.K, v.B)
+		f[v.Site] = Force3{}
+	}
+}
+
+// shakeFixed applies SHAKE per constraint group: positions are decoded,
+// iteratively corrected, and re-encoded; velocities of group members are
+// recomputed from the constrained displacement. Deterministic per group
+// and independent of the node layout (groups live on one node).
+func (e *Engine) shakeFixed(oldPos []fixp.Vec3, dt float64) {
+	top := e.Sys.Top
+	if len(top.Constraints) == 0 {
+		return
+	}
+	box := e.Sys.Box
+	// Group the constraints once.
+	if e.groupConstraints == nil {
+		e.groupConstraints = make([][]int, len(e.groups))
+		for ci := range top.Constraints {
+			c := &top.Constraints[ci]
+			g := e.groupOf[c.I]
+			e.groupConstraints[g] = append(e.groupConstraints[g], ci)
+		}
+	}
+	const tol = 1e-10
+	for gi, cons := range e.groupConstraints {
+		if len(cons) == 0 {
+			continue
+		}
+		atoms := e.groups[gi]
+		// Decode current and reference positions.
+		cur := make(map[int]vec.V3, len(atoms))
+		ref := make(map[int]vec.V3, len(atoms))
+		for _, a := range atoms {
+			cur[a] = e.Coder.Decode(e.Pos[a])
+			ref[a] = e.Coder.Decode(oldPos[a])
+		}
+		for iter := 0; iter < 200; iter++ {
+			worst := 0.0
+			for _, ci := range cons {
+				c := &top.Constraints[ci]
+				d := box.MinImage(cur[c.I].Sub(cur[c.J]))
+				diff := d.Norm2() - c.R*c.R
+				if v := math.Abs(diff) / (c.R * c.R); v > worst {
+					worst = v
+				}
+				if math.Abs(diff) < tol {
+					continue
+				}
+				rd := box.MinImage(ref[c.I].Sub(ref[c.J]))
+				mi := 1 / top.Atoms[c.I].Mass
+				mj := 1 / top.Atoms[c.J].Mass
+				g := diff / (2 * (mi + mj) * d.Dot(rd))
+				corr := rd.Scale(g)
+				cur[c.I] = cur[c.I].Sub(corr.Scale(mi))
+				cur[c.J] = cur[c.J].Add(corr.Scale(mj))
+			}
+			if worst < tol {
+				break
+			}
+		}
+		// Re-encode and recompute velocities from the constrained motion.
+		for _, a := range atoms {
+			if top.Atoms[a].Mass == 0 {
+				continue
+			}
+			e.Pos[a] = e.Coder.Encode(box.Wrap(cur[a]))
+			disp := e.Coder.DeltaToPhys(e.Pos[a].Sub(oldPos[a]))
+			e.Vel[a] = EncodeVel(disp.Scale(1 / dt))
+		}
+	}
+}
+
+// rattleFixed removes velocity components along constrained bonds.
+func (e *Engine) rattleFixed() {
+	top := e.Sys.Top
+	if len(top.Constraints) == 0 {
+		return
+	}
+	for gi, cons := range e.groupConstraints {
+		if len(cons) == 0 {
+			continue
+		}
+		atoms := e.groups[gi]
+		v := make(map[int]vec.V3, len(atoms))
+		for _, a := range atoms {
+			v[a] = e.Vel[a].Float()
+		}
+		for iter := 0; iter < 100; iter++ {
+			worst := 0.0
+			for _, ci := range cons {
+				c := &top.Constraints[ci]
+				d := e.Coder.DeltaToPhys(e.Pos[c.I].Sub(e.Pos[c.J]))
+				rel := v[c.I].Sub(v[c.J])
+				dot := d.Dot(rel)
+				if math.Abs(dot) > worst {
+					worst = math.Abs(dot)
+				}
+				mi := 1 / top.Atoms[c.I].Mass
+				mj := 1 / top.Atoms[c.J].Mass
+				k := dot / (d.Norm2() * (mi + mj))
+				v[c.I] = v[c.I].Sub(d.Scale(k * mi))
+				v[c.J] = v[c.J].Add(d.Scale(k * mj))
+			}
+			if worst < 1e-12 {
+				break
+			}
+		}
+		for _, a := range atoms {
+			if top.Atoms[a].Mass == 0 {
+				continue
+			}
+			e.Vel[a] = EncodeVel(v[a])
+		}
+	}
+}
+
+// berendsenFixed rescales all velocities toward the target temperature.
+// The scale factor is a deterministic function of the kinetic energy,
+// which is summed in atom order — identical on every node layout.
+func (e *Engine) berendsenFixed() {
+	T := e.Temperature()
+	if T <= 0 {
+		return
+	}
+	lam := math.Sqrt(1 + e.Cfg.Dt/e.Cfg.TauT*(e.Cfg.TargetT/T-1))
+	for i := range e.Vel {
+		e.Vel[i].X = int64(math.RoundToEven(float64(e.Vel[i].X) * lam))
+		e.Vel[i].Y = int64(math.RoundToEven(float64(e.Vel[i].Y) * lam))
+		e.Vel[i].Z = int64(math.RoundToEven(float64(e.Vel[i].Z) * lam))
+	}
+}
+
+// checkResidency verifies that no atom has drifted further from its
+// subbox than the slack allows — a violation could mean missed pairs, so
+// the engine re-migrates immediately (deterministic: the decision depends
+// only on positions). Real Anton instead sizes the import slack so this
+// cannot happen between its scheduled migrations (§3.2.4).
+func (e *Engine) checkResidency() {
+	for i := range e.Pos {
+		r := e.Coder.Decode(e.Pos[i])
+		c := e.subGrid.Coord(int(e.subOf[i]))
+		if e.distToSubbox(r, c) > e.subSlack {
+			e.migrate()
+			return
+		}
+	}
+}
+
+// distToSubbox returns the distance from a point to its subbox volume.
+func (e *Engine) distToSubbox(r vec.V3, c nt.BoxCoord) float64 {
+	box := e.Sys.Box
+	gap := func(x, lo, hi, l float64) float64 {
+		// Periodic distance from x to the interval [lo, hi).
+		if x >= lo && x < hi {
+			return 0
+		}
+		d1 := math.Abs(minImage1(x-lo, l))
+		d2 := math.Abs(minImage1(x-hi, l))
+		return math.Min(d1, d2)
+	}
+	gx := gap(r.X, float64(c.X)*e.subSide[0], float64(c.X+1)*e.subSide[0], box.L.X)
+	gy := gap(r.Y, float64(c.Y)*e.subSide[1], float64(c.Y+1)*e.subSide[1], box.L.Y)
+	gz := gap(r.Z, float64(c.Z)*e.subSide[2], float64(c.Z+1)*e.subSide[2], box.L.Z)
+	return math.Sqrt(gx*gx + gy*gy + gz*gz)
+}
+
+func minImage1(d, l float64) float64 {
+	d -= l * math.Round(d/l)
+	return d
+}
+
+// Virial returns the range-limited virial accumulator of the last force
+// evaluation (valid with Cfg.TrackVirial). The raw accumulators are
+// bitwise deterministic and node/worker-invariant.
+func (e *Engine) Virial() htis.Virial { return e.virial }
+
+// VirialTrace returns tr(W) = sum_pairs r_ij . F_ij of the range-limited
+// interactions, in kcal/mol. Positive for net repulsion.
+func (e *Engine) VirialTrace() float64 {
+	// Raw accumulators are in (force counts) x (position counts):
+	// multiply by ForceQuantum and the position step L/2^(FracBits+1)...
+	// one position count = L/2 / 2^FracBits Å.
+	posUnit := e.Coder.L / 2 / math.Exp2(float64(fixp.FracBits))
+	scale := htis.ForceQuantum * posUnit
+	return (e.virial.XX.Float() + e.virial.YY.Float() + e.virial.ZZ.Float()) * scale
+}
+
+// RangeLimitedPressure estimates the pressure contribution of the
+// kinetic term plus the range-limited virial, in kcal/mol/Å^3 (multiply
+// by 69477 for atm). The long-range (k-space) virial is not included —
+// this quantity exists to demonstrate the deterministic wide-accumulator
+// path of Figure 4c, not as a production barostat input.
+func (e *Engine) RangeLimitedPressure() float64 {
+	v := e.Sys.Box.Volume()
+	return (2*e.KineticEnergy() + e.VirialTrace()) / (3 * v)
+}
+
+// KineticEnergy returns the kinetic energy (kcal/mol).
+func (e *Engine) KineticEnergy() float64 {
+	ke := 0.0
+	for i, a := range e.Sys.Top.Atoms {
+		if a.Mass == 0 {
+			continue
+		}
+		v := e.Vel[i].Float()
+		ke += 0.5 * ff.VelToKinetic * a.Mass * v.Norm2()
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous kinetic temperature (K).
+func (e *Engine) Temperature() float64 {
+	dof := e.Sys.Top.DegreesOfFreedom()
+	if dof <= 0 {
+		return 0
+	}
+	return 2 * e.KineticEnergy() / (float64(dof) * ff.KB)
+}
+
+// TotalEnergy returns kinetic plus potential energy.
+func (e *Engine) TotalEnergy() float64 { return e.KineticEnergy() + e.PotentialEnergy }
+
+// Forces returns the current total physical forces in kcal/mol/Å
+// (short-range plus the latest unscaled long-range evaluation) — the
+// quantity compared against the double-precision reference for the force
+// errors of Table 4.
+func (e *Engine) Forces() []vec.V3 {
+	out := make([]vec.V3, len(e.fShort))
+	for i := range out {
+		f := e.fShort[i].Add(e.fLong[i])
+		out[i] = vec.V3{
+			X: htis.ForceValue(f.X),
+			Y: htis.ForceValue(f.Y),
+			Z: htis.ForceValue(f.Z),
+		}
+	}
+	return out
+}

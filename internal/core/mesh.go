@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+
+	"anton/internal/ewald"
+	"anton/internal/ff"
+	"anton/internal/fft"
+	"anton/internal/htis"
+	"anton/internal/ppip"
+	"anton/internal/system"
+	"anton/internal/vec"
+)
+
+// ChargeQuantum is the fixed-point resolution of the mesh charge density
+// (e/Å^3 per count). Spread contributions are quantized to this unit and
+// accumulated with wrapping integer addition, so the mesh contents are
+// independent of the order in which nodes deliver their contributions —
+// the same property force accumulation has.
+const ChargeQuantum = 1.0 / (1 << 34)
+
+// meshSolver runs the Gaussian Split Ewald long-range computation the way
+// Anton does: charge spreading and force interpolation are atom-to-mesh-
+// point "interactions" evaluated through a tabulated radially symmetric
+// kernel on the HTIS (§3.1, Figure 3c), with the convolution done by the
+// distributed FFT (which is bitwise identical to the serial transform —
+// see fft.Dist3 — so any node count yields the same potential).
+type meshSolver struct {
+	split   ewald.Split
+	n       int     // mesh points per axis
+	h       float64 // mesh spacing, Å
+	rspread float64 // spreading/interpolation cutoff, Å
+	sigma1  float64 // per-stage Gaussian width = sigma/sqrt(2)
+	l       float64 // box edge
+
+	weightTab *ppip.Table // spreading kernel w((d/rspread)^2), PPIP-tabulated
+	green     []float64   // Green's function on the k-mesh
+	counts    []int64     // fixed-point mesh charge accumulator
+	mesh      *fft.Grid3  // float mesh for the convolution
+
+	workerCounts [][]int64 // per-worker spreading buffers
+}
+
+func newMeshSolver(s *system.System, split ewald.Split) (*meshSolver, error) {
+	n := s.Mesh
+	ms := &meshSolver{
+		split:   split,
+		n:       n,
+		h:       s.Box.L.X / float64(n),
+		rspread: s.RSpread,
+		sigma1:  split.Sigma / math.Sqrt2,
+		l:       s.Box.L.X,
+		counts:  make([]int64, n*n*n),
+		mesh:    fft.NewGrid3(n, n, n),
+	}
+	// The spreading kernel as a PPIP table of x = (d/rspread)^2.
+	var err error
+	ms.weightTab, err = ppip.Build(
+		ppip.GaussianSpreadFunc(ms.sigma1, ms.rspread), ppip.PaperScheme, 22)
+	if err != nil {
+		return nil, err
+	}
+	// Green's function k_C*4*pi/k^2 (tinfoil boundary, zero at k=0).
+	ms.green = make([]float64, n*n*n)
+	g := 2 * math.Pi / s.Box.L.X
+	for kz := 0; kz < n; kz++ {
+		mz := foldMode(kz, n)
+		for ky := 0; ky < n; ky++ {
+			my := foldMode(ky, n)
+			for kx := 0; kx < n; kx++ {
+				mx := foldMode(kx, n)
+				if mx == 0 && my == 0 && mz == 0 {
+					continue
+				}
+				k2 := float64(mx*mx+my*my+mz*mz) * g * g
+				ms.green[(kz*n+ky)*n+kx] = ff.CoulombK * 4 * math.Pi / k2
+			}
+		}
+	}
+	return ms, nil
+}
+
+func foldMode(k, n int) int {
+	if k > n/2 {
+		return k - n
+	}
+	return k
+}
+
+// weight evaluates the tabulated spreading kernel at squared distance d2.
+func (ms *meshSolver) weight(d2 float64) float64 {
+	x := d2 / (ms.rspread * ms.rspread)
+	if x >= 1 {
+		x = math.Nextafter(1, 0)
+	}
+	return ms.weightTab.Evaluate(x)
+}
+
+// meshForces runs spread -> convolve -> interpolate on the engine state,
+// accumulating quantized forces into e.fLong and returning the long-range
+// energy (including the self term, which is then removed).
+func (e *Engine) meshForces() float64 {
+	ms := e.mesh
+	top := e.Sys.Top
+
+	// --- Charge spreading (HTIS mesh variant of the NT method). ---
+	// Parallel across atoms with per-worker mesh-count buffers; the
+	// wrapping integer merge keeps the mesh contents independent of
+	// scheduling, exactly like the force accumulators.
+	workers := e.workers()
+	for i := range ms.counts {
+		ms.counts[i] = 0
+	}
+	if len(ms.workerCounts) < workers {
+		ms.workerCounts = make([][]int64, workers)
+		for w := range ms.workerCounts {
+			ms.workerCounts[w] = make([]int64, len(ms.counts))
+		}
+	}
+	meshTallies := make([]int64, workers)
+	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
+		counts := ms.workerCounts[w]
+		for i := range counts {
+			counts[i] = 0
+		}
+		var tally int64
+		for i := lo; i < hi; i++ {
+			q := top.Atoms[i].Charge
+			if q == 0 {
+				continue
+			}
+			r := e.Coder.Decode(e.Pos[i])
+			ms.forEachMeshPoint(r, func(idx int, d2 float64, _ vec.V3) {
+				c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
+				counts[idx] += c // wrapping accumulate: order-independent
+				tally++
+			})
+		}
+		meshTallies[w] = tally
+	})
+	for w := 0; w < workers; w++ {
+		counts := ms.workerCounts[w]
+		for i := range ms.counts {
+			ms.counts[i] += counts[i]
+		}
+		e.Stats.MeshInteractions += meshTallies[w]
+	}
+
+	// --- Convolution (distributed FFT; serial transform is bit-identical). ---
+	for i, c := range ms.counts {
+		ms.mesh.Data[i] = complex(float64(c)*ChargeQuantum, 0)
+	}
+	ms.mesh.ForwardP(e.workers())
+	for i, g := range ms.green {
+		ms.mesh.Data[i] *= complex(g, 0)
+	}
+	ms.mesh.InverseP(e.workers())
+
+	// --- Force interpolation + energy (parallel: each atom's force is
+	// written only by its owner). ---
+	h3 := ms.h * ms.h * ms.h
+	invS2 := 1 / (ms.sigma1 * ms.sigma1)
+	energies := make([]float64, workers)
+	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
+		var energy float64
+		var tally int64
+		for i := lo; i < hi; i++ {
+			q := top.Atoms[i].Charge
+			if q == 0 {
+				continue
+			}
+			r := e.Coder.Decode(e.Pos[i])
+			var ex float64
+			var fx, fy, fz float64
+			ms.forEachMeshPoint(r, func(idx int, d2 float64, d vec.V3) {
+				phi := real(ms.mesh.Data[idx])
+				wgt := ms.weight(d2)
+				ex += phi * wgt
+				s := phi * wgt * invS2
+				fx += s * d.X
+				fy += s * d.Y
+				fz += s * d.Z
+				tally++
+			})
+			energy += 0.5 * q * h3 * ex
+			e.fLong[i] = e.fLong[i].AddRaw(
+				htis.QuantizeForce(-q*h3*fx),
+				htis.QuantizeForce(-q*h3*fy),
+				htis.QuantizeForce(-q*h3*fz),
+			)
+		}
+		energies[w] = energy
+		meshTallies[w] = tally
+	})
+	energy := 0.0
+	for w := 0; w < workers; w++ {
+		energy += energies[w]
+		e.Stats.MeshInteractions += meshTallies[w]
+	}
+	// Remove the Ewald self term.
+	energy += e.Split.SelfEnergy(top.Atoms)
+	return energy
+}
+
+// forEachMeshPoint visits mesh points within rspread of p, passing the
+// linear index, squared distance, and displacement d = r_m - p (minimum
+// image). Deterministic iteration order (k, j, i ascending).
+func (ms *meshSolver) forEachMeshPoint(p vec.V3, fn func(idx int, d2 float64, d vec.V3)) {
+	rc2 := ms.rspread * ms.rspread
+	i0 := int(math.Floor((p.X - ms.rspread) / ms.h))
+	i1 := int(math.Ceil((p.X + ms.rspread) / ms.h))
+	j0 := int(math.Floor((p.Y - ms.rspread) / ms.h))
+	j1 := int(math.Ceil((p.Y + ms.rspread) / ms.h))
+	k0 := int(math.Floor((p.Z - ms.rspread) / ms.h))
+	k1 := int(math.Ceil((p.Z + ms.rspread) / ms.h))
+	n := ms.n
+	for k := k0; k <= k1; k++ {
+		dz := float64(k)*ms.h - p.Z
+		dz -= ms.l * math.Round(dz/ms.l)
+		kw := modN(k, n)
+		for j := j0; j <= j1; j++ {
+			dy := float64(j)*ms.h - p.Y
+			dy -= ms.l * math.Round(dy/ms.l)
+			jw := modN(j, n)
+			rowBase := (kw*n + jw) * n
+			for i := i0; i <= i1; i++ {
+				dx := float64(i)*ms.h - p.X
+				dx -= ms.l * math.Round(dx/ms.l)
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 > rc2 {
+					continue
+				}
+				fn(rowBase+modN(i, n), d2, vec.V3{X: dx, Y: dy, Z: dz})
+			}
+		}
+	}
+}
+
+func modN(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

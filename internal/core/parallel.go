@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The engine parallelizes its force phases across OS threads, mirroring
+// how Anton's phases run concurrently across hardware units. Because
+// every accumulator is a wrapping fixed-point integer, partial results
+// merge associatively: the trajectory is bitwise identical for ANY worker
+// count or scheduling — the same §4 property that gives the machine its
+// parallel invariance. (Diagnostic float energies are reduced in worker
+// order, so they too are reproducible for a fixed worker count.)
+
+// workers returns the configured worker count.
+func (e *Engine) workers() int {
+	if e.Cfg.Workers > 0 {
+		return e.Cfg.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelChunks splits [0, n) into contiguous chunks, one per worker,
+// and runs fn(worker, lo, hi) concurrently. Chunk boundaries depend only
+// on n and the worker count, never on scheduling.
+func parallelChunks(n, workers int, fn func(worker, lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// forceBuffers returns per-worker force accumulators of length n, reusing
+// prior allocations and zeroing them.
+func (e *Engine) forceBuffers(workers, n int) [][]Force3 {
+	if len(e.workerF) < workers || len(e.workerF) > 0 && len(e.workerF[0]) != n {
+		e.workerF = make([][]Force3, workers)
+		for w := range e.workerF {
+			e.workerF[w] = make([]Force3, n)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		buf := e.workerF[w]
+		for i := range buf {
+			buf[i] = Force3{}
+		}
+	}
+	return e.workerF[:workers]
+}
+
+// mergeForces adds per-worker buffers into dst with wrapping (order-free)
+// accumulation.
+func mergeForces(dst []Force3, bufs [][]Force3) {
+	for _, buf := range bufs {
+		for i := range dst {
+			dst[i] = dst[i].Add(buf[i])
+		}
+	}
+}

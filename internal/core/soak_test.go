@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"anton/internal/analysis"
+	"anton/internal/system"
+)
+
+func TestSoakNVEDriftQuality(t *testing.T) {
+	// Long NVE quality gate: with potential-shifted bookkeeping, the
+	// fixed-point engine's secular drift on an equilibrated unconstrained
+	// fluid must be small in absolute terms. (The paper's Table 4 reports
+	// 0.015-0.053 kcal/mol/DoF/us on multi-ns windows; short windows are
+	// fluctuation-dominated, so this gate bounds the absolute energy
+	// change instead.)
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	s, err := system.IonicFluid(60, 16.0, 6.5, 16, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	cfg.TauT = 0
+	cfg.Dt = 2.0
+	e, err := NewEngine(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(35))
+	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	e.Step(100) // equilibrate the quantized state
+	e0 := e.TotalEnergy()
+	var times, energies []float64
+	const steps = 1400
+	for done := 0; done < steps; done += 20 {
+		e.Step(20)
+		times = append(times, float64(e.StepCount())*cfg.Dt)
+		energies = append(energies, e.TotalEnergy())
+	}
+	drift, err := analysis.EnergyDrift(times, energies, s.Top.DegreesOfFreedom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: drift %.2f kcal/mol/DoF/us over %.1f ps; |dE| = %.3f kcal/mol",
+		drift, float64(steps)*cfg.Dt/1000, abs64(e.TotalEnergy()-e0))
+	// Absolute gate: total energy change under 0.005 kcal/mol per DoF
+	// over ~3 ps (roughly 1% of kT per DoF).
+	perDof := abs64(e.TotalEnergy()-e0) / float64(s.Top.DegreesOfFreedom())
+	if perDof > 0.005 {
+		t.Errorf("soak energy change %.4f kcal/mol/DoF over 3 ps", perDof)
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,404 @@
+package ewald
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anton/internal/ff"
+	"anton/internal/vec"
+)
+
+// realSum evaluates the real-space component over all minimum-image pairs
+// (valid when the cutoff, implied by sigma, is well under L/2).
+func realSum(s Split, atoms []ff.Atom, box vec.Box, r []vec.V3, f []vec.V3) float64 {
+	e := 0.0
+	for i := 0; i < len(atoms); i++ {
+		for j := i + 1; j < len(atoms); j++ {
+			d := box.MinImage(r[i].Sub(r[j]))
+			r2 := d.Norm2()
+			ep, fs := s.RealSpacePair(r2, atoms[i].Charge, atoms[j].Charge)
+			e += ep
+			if f != nil {
+				fv := d.Scale(fs)
+				f[i] = f[i].Add(fv)
+				f[j] = f[j].Sub(fv)
+			}
+		}
+	}
+	return e
+}
+
+func TestSplitIdentity(t *testing.T) {
+	// RealSpacePair + SmoothPair must equal the bare Coulomb interaction.
+	s := Split{Sigma: 1.2, Cutoff: 10}
+	for _, r := range []float64{0.5, 1, 2.3, 5, 9} {
+		er, fr := s.RealSpacePair(r*r, 1.1, -0.7)
+		es, fs := s.SmoothPair(r*r, 1.1, -0.7)
+		eb, fb := ff.Coulomb(r*r, 1.1, -0.7)
+		if math.Abs(er+es-eb) > 1e-12*math.Abs(eb) {
+			t.Errorf("r=%g: energy split %g+%g != %g", r, er, es, eb)
+		}
+		if math.Abs(fr+fs-fb) > 1e-10*math.Abs(fb) {
+			t.Errorf("r=%g: force split %g+%g != %g", r, fr, fs, fb)
+		}
+	}
+}
+
+func TestSigmaForCutoff(t *testing.T) {
+	for _, c := range []struct{ rc, tol float64 }{{9, 1e-5}, {13, 1e-6}, {10.4, 1e-5}} {
+		sigma := SigmaForCutoff(c.rc, c.tol)
+		got := math.Erfc(c.rc / (math.Sqrt2 * sigma))
+		if math.Abs(got-c.tol) > 0.01*c.tol {
+			t.Errorf("rc=%g: erfc at cutoff %g, want %g", c.rc, got, c.tol)
+		}
+		// Larger cutoff at same tolerance allows larger sigma (coarser mesh) —
+		// the Table 2 trade-off.
+		if s13 := SigmaForCutoff(13, c.tol); s13 <= SigmaForCutoff(9, c.tol) {
+			t.Error("sigma should grow with cutoff")
+		}
+	}
+}
+
+func TestRealSpaceForceGradient(t *testing.T) {
+	s := Split{Sigma: 1.0, Cutoff: 10}
+	const h = 1e-6
+	for _, r := range []float64{0.8, 1.5, 3.0} {
+		ep, _ := s.RealSpacePair((r+h)*(r+h), 1, 1)
+		em, _ := s.RealSpacePair((r-h)*(r-h), 1, 1)
+		want := -(ep - em) / (2 * h)
+		_, fs := s.RealSpacePair(r*r, 1, 1)
+		got := fs * r
+		if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+			t.Errorf("r=%g: real-space force %g, numerical %g", r, got, want)
+		}
+		eps, _ := s.SmoothPair((r+h)*(r+h), 1, 1)
+		ems, _ := s.SmoothPair((r-h)*(r-h), 1, 1)
+		wantS := -(eps - ems) / (2 * h)
+		_, fss := s.SmoothPair(r*r, 1, 1)
+		gotS := fss * r
+		if math.Abs(gotS-wantS) > 1e-5*(1+math.Abs(wantS)) {
+			t.Errorf("r=%g: smooth force %g, numerical %g", r, gotS, wantS)
+		}
+	}
+}
+
+// rockSalt builds the 8-ion NaCl conventional cell with lattice constant a.
+func rockSalt(a float64) ([]ff.Atom, vec.Box, []vec.V3) {
+	box := vec.Cube(a)
+	na := [][3]float64{{0, 0, 0}, {0, .5, .5}, {.5, 0, .5}, {.5, .5, 0}}
+	cl := [][3]float64{{.5, 0, 0}, {0, .5, 0}, {0, 0, .5}, {.5, .5, .5}}
+	var atoms []ff.Atom
+	var r []vec.V3
+	for _, p := range na {
+		atoms = append(atoms, ff.Atom{Name: "Na", Charge: 1})
+		r = append(r, vec.V3{X: p[0] * a, Y: p[1] * a, Z: p[2] * a})
+	}
+	for _, p := range cl {
+		atoms = append(atoms, ff.Atom{Name: "Cl", Charge: -1})
+		r = append(r, vec.V3{X: p[0] * a, Y: p[1] * a, Z: p[2] * a})
+	}
+	return atoms, box, r
+}
+
+func TestMadelungConstant(t *testing.T) {
+	// The full Ewald machinery must reproduce the NaCl Madelung constant
+	// 1.747565 to high accuracy: E/pair = -M * k / (a/2).
+	a := 5.64
+	atoms, box, r := rockSalt(a)
+	s := Split{Sigma: 0.45, Cutoff: a / 2}
+	e := realSum(s, atoms, box, r, nil)
+	e += ExactKSpace(s, atoms, box, r, nil, 14)
+	e += s.SelfEnergy(atoms)
+	perPair := e / 4 // 4 NaCl formula units in the cell
+	madelung := -perPair * (a / 2) / ff.CoulombK
+	if math.Abs(madelung-1.747565) > 1e-4 {
+		t.Errorf("Madelung constant: got %.6f, want 1.747565", madelung)
+	}
+}
+
+func TestEwaldParameterInvariance(t *testing.T) {
+	// The total electrostatic energy must not depend on the splitting
+	// parameter — the same invariance that lets Anton pick a large cutoff
+	// and coarse mesh while commodity codes pick the opposite (Table 2).
+	rng := rand.New(rand.NewSource(21))
+	box := vec.Cube(12)
+	var atoms []ff.Atom
+	var r []vec.V3
+	for i := 0; i < 10; i++ {
+		q := 1.0
+		if i%2 == 1 {
+			q = -1
+		}
+		atoms = append(atoms, ff.Atom{Charge: q})
+		r = append(r, vec.V3{X: rng.Float64() * 12, Y: rng.Float64() * 12, Z: rng.Float64() * 12})
+	}
+	var prev float64
+	for i, sigma := range []float64{0.6, 0.8, 1.0} {
+		s := Split{Sigma: sigma, Cutoff: 6}
+		e := realSum(s, atoms, box, r, nil) +
+			ExactKSpace(s, atoms, box, r, nil, 16) +
+			s.SelfEnergy(atoms)
+		if i > 0 && math.Abs(e-prev) > 1e-6*math.Abs(prev) {
+			t.Errorf("sigma=%g: total %g differs from %g", sigma, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestExactKSpaceForcesGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	box := vec.Cube(10)
+	var atoms []ff.Atom
+	var r []vec.V3
+	for i := 0; i < 6; i++ {
+		q := 1.0
+		if i%2 == 1 {
+			q = -1
+		}
+		atoms = append(atoms, ff.Atom{Charge: q})
+		r = append(r, vec.V3{X: rng.Float64() * 10, Y: rng.Float64() * 10, Z: rng.Float64() * 10})
+	}
+	s := Split{Sigma: 1.0, Cutoff: 5}
+	f := make([]vec.V3, len(atoms))
+	ExactKSpace(s, atoms, box, r, f, 10)
+	const h = 1e-5
+	for a := 0; a < len(atoms); a++ {
+		for c := 0; c < 3; c++ {
+			rp := append([]vec.V3(nil), r...)
+			rm := append([]vec.V3(nil), r...)
+			rp[a] = rp[a].SetComp(c, rp[a].Comp(c)+h)
+			rm[a] = rm[a].SetComp(c, rm[a].Comp(c)-h)
+			ep := ExactKSpace(s, atoms, box, rp, nil, 10)
+			em := ExactKSpace(s, atoms, box, rm, nil, 10)
+			want := -(ep - em) / (2 * h)
+			got := f[a].Comp(c)
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("kspace force[%d].%c: got %g, want %g", a, "xyz"[c], got, want)
+			}
+		}
+	}
+}
+
+// randomNeutralSystem builds n atoms with alternating charges.
+func randomNeutralSystem(n int, box vec.Box, seed int64) ([]ff.Atom, []vec.V3) {
+	rng := rand.New(rand.NewSource(seed))
+	atoms := make([]ff.Atom, n)
+	r := make([]vec.V3, n)
+	for i := 0; i < n; i++ {
+		q := 0.5 + rng.Float64()
+		if i%2 == 1 {
+			q = -q
+		}
+		atoms[i].Charge = q
+		r[i] = vec.V3{X: rng.Float64() * box.L.X, Y: rng.Float64() * box.L.Y, Z: rng.Float64() * box.L.Z}
+	}
+	// Neutralize exactly.
+	var tot float64
+	for _, a := range atoms {
+		tot += a.Charge
+	}
+	atoms[n-1].Charge -= tot
+	return atoms, r
+}
+
+func TestGSEMatchesExactKSpace(t *testing.T) {
+	box := vec.Cube(20)
+	atoms, r := randomNeutralSystem(12, box, 41)
+	s := Split{Sigma: 1.5, Cutoff: 9}
+	g, err := NewGSE(s, box, 32, 32, 32, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := make([]vec.V3, len(atoms))
+	eg := g.LongRange(atoms, r, fg)
+	fe := make([]vec.V3, len(atoms))
+	ee := ExactKSpace(s, atoms, box, r, fe, 14)
+	if math.Abs(eg-ee) > 2e-3*math.Abs(ee) {
+		t.Errorf("GSE energy %g vs exact %g", eg, ee)
+	}
+	var maxErr, rms float64
+	for i := range fg {
+		d := fg[i].Sub(fe[i]).Norm()
+		if d > maxErr {
+			maxErr = d
+		}
+		rms += fe[i].Norm2()
+	}
+	rms = math.Sqrt(rms / float64(len(fg)))
+	if maxErr > 0.02*rms {
+		t.Errorf("GSE force error %g vs rms force %g", maxErr, rms)
+	}
+}
+
+func TestSPMEMatchesExactKSpace(t *testing.T) {
+	box := vec.Cube(20)
+	atoms, r := randomNeutralSystem(12, box, 43)
+	s := Split{Sigma: 1.5, Cutoff: 9}
+	p, err := NewSPME(s, box, 32, 32, 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := make([]vec.V3, len(atoms))
+	ep := p.LongRange(atoms, r, fp)
+	fe := make([]vec.V3, len(atoms))
+	ee := ExactKSpace(s, atoms, box, r, fe, 14)
+	if math.Abs(ep-ee) > 1e-4*math.Abs(ee) {
+		t.Errorf("SPME energy %g vs exact %g", ep, ee)
+	}
+	var maxErr, rms float64
+	for i := range fp {
+		d := fp[i].Sub(fe[i]).Norm()
+		if d > maxErr {
+			maxErr = d
+		}
+		rms += fe[i].Norm2()
+	}
+	rms = math.Sqrt(rms / float64(len(fp)))
+	if maxErr > 0.005*rms {
+		t.Errorf("SPME force error %g vs rms force %g", maxErr, rms)
+	}
+}
+
+func TestGSEAndSPMEAgree(t *testing.T) {
+	box := vec.Cube(16)
+	atoms, r := randomNeutralSystem(20, box, 47)
+	s := Split{Sigma: 1.3, Cutoff: 7}
+	g, _ := NewGSE(s, box, 32, 32, 32, 4.0)
+	p, _ := NewSPME(s, box, 32, 32, 32, 6)
+	eg := g.LongRange(atoms, r, nil)
+	ep := p.LongRange(atoms, r, nil)
+	if math.Abs(eg-ep) > 2e-3*math.Abs(ep) {
+		t.Errorf("GSE %g vs SPME %g disagree", eg, ep)
+	}
+}
+
+func TestGSEMomentumConservation(t *testing.T) {
+	// Long-range forces on a neutral system must sum to ~zero.
+	box := vec.Cube(18)
+	atoms, r := randomNeutralSystem(16, box, 53)
+	s := Split{Sigma: 1.4, Cutoff: 8}
+	g, _ := NewGSE(s, box, 32, 32, 32, 4.2)
+	f := make([]vec.V3, len(atoms))
+	g.LongRange(atoms, r, f)
+	var net vec.V3
+	var rms float64
+	for i := range f {
+		net = net.Add(f[i])
+		rms += f[i].Norm2()
+	}
+	rms = math.Sqrt(rms / float64(len(f)))
+	if net.Norm() > 0.01*rms {
+		t.Errorf("net long-range force %v (rms %g)", net, rms)
+	}
+}
+
+func TestCorrectionForces(t *testing.T) {
+	// Two bonded (excluded) charges: real + smooth + correction must leave
+	// only... nothing: the pair is excluded entirely, so total pair energy
+	// after correction equals the real-space part minus the smooth part
+	// it cancels. Verify the correction exactly cancels SmoothPair.
+	box := vec.Cube(20)
+	top := &ff.Topology{
+		Atoms: []ff.Atom{{Charge: 0.5, Mass: 1}, {Charge: -0.5, Mass: 1}},
+		Bonds: []ff.Bond{{I: 0, J: 1, R0: 1, K: 100}},
+	}
+	top.BuildExclusions()
+	r := []vec.V3{{X: 5}, {X: 6.1}}
+	s := Split{Sigma: 1.0, Cutoff: 8}
+	f := make([]vec.V3, 2)
+	e := s.CorrectionForces(top, box, r, f)
+	es, fs := s.SmoothPair(box.Dist2(r[0], r[1]), 0.5, -0.5)
+	if math.Abs(e+es) > 1e-12*math.Abs(es) {
+		t.Errorf("correction energy %g should cancel smooth %g", e, es)
+	}
+	d := box.MinImage(r[0].Sub(r[1]))
+	wantF := d.Scale(-fs)
+	if f[0].Sub(wantF).MaxAbs() > 1e-12 {
+		t.Errorf("correction force %v, want %v", f[0], wantF)
+	}
+	if f[0].Add(f[1]).MaxAbs() > 1e-15 {
+		t.Error("correction forces not antisymmetric")
+	}
+}
+
+func TestSelfEnergyNegativeScalesWithQ2(t *testing.T) {
+	s := Split{Sigma: 1.0}
+	a1 := []ff.Atom{{Charge: 1}}
+	a2 := []ff.Atom{{Charge: 2}}
+	e1 := s.SelfEnergy(a1)
+	e2 := s.SelfEnergy(a2)
+	if e1 >= 0 {
+		t.Errorf("self energy should be negative: %g", e1)
+	}
+	if math.Abs(e2-4*e1) > 1e-12*math.Abs(e1) {
+		t.Errorf("self energy not quadratic in q: %g vs 4*%g", e2, e1)
+	}
+}
+
+func TestBSplineProperties(t *testing.T) {
+	// Partition of unity: sum over integer-offset evaluations is 1.
+	for _, p := range []int{2, 3, 4, 6} {
+		for _, u := range []float64{0.1, 0.5, 0.9} {
+			sum := 0.0
+			for j := -p; j <= p; j++ {
+				sum += bspline(p, u-float64(j))
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("order %d u=%g: spline sum %g, want 1", p, u, sum)
+			}
+		}
+	}
+	// Symmetry about p/2.
+	if math.Abs(bspline(4, 1.3)-bspline(4, 4-1.3)) > 1e-12 {
+		t.Error("B-spline not symmetric")
+	}
+	// Derivative matches numerical.
+	const h = 1e-7
+	for _, x := range []float64{0.7, 1.5, 2.2, 3.1} {
+		want := (bspline(4, x+h) - bspline(4, x-h)) / (2 * h)
+		got := bsplineDeriv(4, x)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("spline deriv at %g: got %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestNewGSEErrors(t *testing.T) {
+	s := Split{Sigma: 1, Cutoff: 8}
+	if _, err := NewGSE(s, vec.Cube(20), 30, 32, 32, 4); err == nil {
+		t.Error("non-power-of-two mesh accepted")
+	}
+	if _, err := NewGSE(s, vec.Cube(20), 32, 32, 32, 15); err == nil {
+		t.Error("spreading radius > L/2 accepted")
+	}
+	if _, err := NewSPME(s, vec.Cube(20), 32, 32, 32, 9); err == nil {
+		t.Error("order 9 accepted")
+	}
+}
+
+func TestMeshPointsPerAtom(t *testing.T) {
+	s := Split{Sigma: 1.5, Cutoff: 9}
+	g, _ := NewGSE(s, vec.Cube(32), 32, 32, 32, 4)
+	// Sphere of radius 4 with h=1: ~268 points.
+	want := 4.0 / 3.0 * math.Pi * 64
+	if math.Abs(g.MeshPointsPerAtom()-want) > 1 {
+		t.Errorf("mesh points per atom: got %g, want %g", g.MeshPointsPerAtom(), want)
+	}
+}
+
+func TestSigmaForCutoffMonotone(t *testing.T) {
+	// Larger cutoffs admit larger sigmas at fixed tolerance; tighter
+	// tolerances force smaller sigmas at fixed cutoff.
+	prev := 0.0
+	for _, rc := range []float64{6, 9, 12, 15} {
+		s := SigmaForCutoff(rc, 1e-5)
+		if s <= prev {
+			t.Errorf("sigma(%g) = %g not increasing", rc, s)
+		}
+		prev = s
+	}
+	if SigmaForCutoff(10, 1e-7) >= SigmaForCutoff(10, 1e-4) {
+		t.Error("tighter tolerance should shrink sigma")
+	}
+}

@@ -1,0 +1,231 @@
+package ewald
+
+import (
+	"fmt"
+	"math"
+
+	"anton/internal/ff"
+	"anton/internal/fft"
+	"anton/internal/vec"
+)
+
+// GSE implements Gaussian Split Ewald (Shan, Klepeis, Eastwood, Dror &
+// Shaw 2005 — paper reference [31]), the mesh Ewald method co-designed for
+// Anton. Unlike SPME's B-spline charge assignment, GSE spreads charge and
+// interpolates force with *radially symmetric* Gaussians, so both
+// operations are "interactions" between atoms and mesh points that depend
+// only on distance — exactly the functional form Anton's PPIP pipelines
+// evaluate, which is what lets the HTIS accelerate mesh interpolation
+// (paper §3.1, Figure 3c).
+//
+// The splitting is symmetric: charge is spread with a Gaussian of width
+// sigma/sqrt(2) onto the mesh, the on-mesh Poisson equation is solved in
+// Fourier space with the bare 4*pi/k^2 Green's function, and forces are
+// interpolated back with the same sigma/sqrt(2) Gaussian; the two halves
+// convolve to the full sigma smoothing that complements the real-space
+// erfc kernel.
+type GSE struct {
+	Split
+	Nx, Ny, Nz int     // mesh dimensions (powers of two)
+	RSpread    float64 // spreading/interpolation cutoff radius, Å
+
+	box        vec.Box
+	hx, hy, hz float64   // mesh spacings
+	sigma1     float64   // sigma/sqrt(2): per-stage Gaussian width
+	green      []float64 // precomputed Green's function on the k-mesh
+	mesh       *fft.Grid3
+}
+
+// NewGSE builds a GSE solver for the given box. The spreading radius
+// rspread bounds the atom-to-mesh-point interaction distance (the paper's
+// BPTI run used 7.1 Å against a 10.4-Å range-limited cutoff).
+func NewGSE(s Split, box vec.Box, nx, ny, nz int, rspread float64) (*GSE, error) {
+	if !fft.IsPow2(nx) || !fft.IsPow2(ny) || !fft.IsPow2(nz) {
+		return nil, fmt.Errorf("ewald: GSE mesh %dx%dx%d must be powers of two", nx, ny, nz)
+	}
+	if rspread <= 0 || rspread > box.L.MaxAbs()/2 {
+		return nil, fmt.Errorf("ewald: spreading radius %g out of range (0, L/2]", rspread)
+	}
+	g := &GSE{
+		Split: s,
+		Nx:    nx, Ny: ny, Nz: nz,
+		RSpread: rspread,
+		box:     box,
+		hx:      box.L.X / float64(nx),
+		hy:      box.L.Y / float64(ny),
+		hz:      box.L.Z / float64(nz),
+		sigma1:  s.Sigma / math.Sqrt2,
+		mesh:    fft.NewGrid3(nx, ny, nz),
+	}
+	g.buildGreen()
+	return g, nil
+}
+
+// buildGreen precomputes k_C * 4*pi/k^2 on the k-mesh (zero at k=0: the
+// net-charge term is dropped, i.e. a uniform neutralizing background, the
+// standard tinfoil convention).
+func (g *GSE) buildGreen() {
+	g.green = make([]float64, g.Nx*g.Ny*g.Nz)
+	gx := 2 * math.Pi / g.box.L.X
+	gy := 2 * math.Pi / g.box.L.Y
+	gz := 2 * math.Pi / g.box.L.Z
+	for kz := 0; kz < g.Nz; kz++ {
+		mz := fold(kz, g.Nz)
+		for ky := 0; ky < g.Ny; ky++ {
+			my := fold(ky, g.Ny)
+			for kx := 0; kx < g.Nx; kx++ {
+				mx := fold(kx, g.Nx)
+				if mx == 0 && my == 0 && mz == 0 {
+					continue
+				}
+				k2 := sq(float64(mx)*gx) + sq(float64(my)*gy) + sq(float64(mz)*gz)
+				g.green[(kz*g.Ny+ky)*g.Nx+kx] = ff.CoulombK * 4 * math.Pi / k2
+			}
+		}
+	}
+}
+
+// fold maps an FFT bin index to the signed smallest-magnitude mode number.
+func fold(k, n int) int {
+	if k > n/2 {
+		return k - n
+	}
+	return k
+}
+
+func sq(x float64) float64 { return x * x }
+
+// SpreadWeight returns the Gaussian charge-spreading kernel value for a
+// squared atom-to-mesh-point distance: (2*pi*sigma1^2)^(-3/2) *
+// exp(-d2/(2*sigma1^2)). This radially symmetric function of distance is
+// the "interaction" Anton's HTIS computes between tower atoms and plate
+// mesh points.
+func (g *GSE) SpreadWeight(d2 float64) float64 {
+	s2 := g.sigma1 * g.sigma1
+	return math.Exp(-d2/(2*s2)) / math.Pow(2*math.Pi*s2, 1.5)
+}
+
+// Spread builds the mesh charge density from atom charges:
+// rho(m) = sum_i q_i * SpreadWeight(|r_m - r_i|^2), over mesh points
+// within RSpread of the atom.
+func (g *GSE) Spread(atoms []ff.Atom, r []vec.V3) {
+	g.mesh.Zero()
+	for i := range atoms {
+		q := atoms[i].Charge
+		if q == 0 {
+			continue
+		}
+		g.forEachMeshPoint(r[i], func(idx int, d2 float64) {
+			g.mesh.Data[idx] += complex(q*g.SpreadWeight(d2), 0)
+		})
+	}
+}
+
+// Convolve solves the on-mesh Poisson problem: forward FFT, multiply by
+// the Green's function, inverse FFT. Afterward the mesh holds the
+// long-range potential phi(m) in kcal/mol/e: with Fourier-series
+// coefficients rho_k = DFT[rho](k)/N^3 and phi_k = G(k)*rho_k, the
+// potential at mesh points is exactly IFFT[G * DFT[rho]].
+func (g *GSE) Convolve() {
+	g.mesh.Forward3()
+	for i, gr := range g.green {
+		g.mesh.Data[i] *= complex(gr, 0)
+	}
+	g.mesh.Inverse3()
+}
+
+// EnergyAndForces interpolates the potential back onto atoms:
+// E = (h^3/2) * sum_i q_i sum_m phi(m) w(|r_m - r_i|^2), and
+// F_i = q_i h^3 sum_m phi(m) w(d2) (r_i - r_m)/sigma1^2.
+// Call after Spread and Convolve. Forces accumulate into f if non-nil.
+func (g *GSE) EnergyAndForces(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
+	h3 := g.hx * g.hy * g.hz
+	invS2 := 1 / (g.sigma1 * g.sigma1)
+	energy := 0.0
+	for i := range atoms {
+		q := atoms[i].Charge
+		if q == 0 {
+			continue
+		}
+		var e float64
+		var fx, fy, fz float64
+		g.forEachMeshPointD(r[i], func(idx int, d2 float64, d vec.V3) {
+			phi := real(g.mesh.Data[idx])
+			w := g.SpreadWeight(d2)
+			e += phi * w
+			// d = r_m - r_i (minimum image); F_i += q h3 phi w d/sigma1^2
+			s := phi * w * invS2
+			fx += s * d.X
+			fy += s * d.Y
+			fz += s * d.Z
+		})
+		energy += 0.5 * q * h3 * e
+		if f != nil {
+			f[i] = f[i].Add(vec.V3{X: fx, Y: fy, Z: fz}.Scale(-q * h3))
+		}
+	}
+	return energy
+}
+
+// LongRange runs the full pipeline: spread, convolve, interpolate.
+// It returns the long-range (smooth) energy including the self term, which
+// callers must remove via Split.SelfEnergy.
+func (g *GSE) LongRange(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
+	g.Spread(atoms, r)
+	g.Convolve()
+	return g.EnergyAndForces(atoms, r, f)
+}
+
+// forEachMeshPoint visits every mesh point within RSpread of position p,
+// passing the linear mesh index and squared minimum-image distance.
+func (g *GSE) forEachMeshPoint(p vec.V3, fn func(idx int, d2 float64)) {
+	g.forEachMeshPointD(p, func(idx int, d2 float64, _ vec.V3) { fn(idx, d2) })
+}
+
+// forEachMeshPointD additionally passes the displacement d = r_m - p
+// (minimum image).
+func (g *GSE) forEachMeshPointD(p vec.V3, fn func(idx int, d2 float64, d vec.V3)) {
+	rc2 := g.RSpread * g.RSpread
+	// Mesh point m has coordinates (i*hx, j*hy, k*hz).
+	i0 := int(math.Floor((p.X - g.RSpread) / g.hx))
+	i1 := int(math.Ceil((p.X + g.RSpread) / g.hx))
+	j0 := int(math.Floor((p.Y - g.RSpread) / g.hy))
+	j1 := int(math.Ceil((p.Y + g.RSpread) / g.hy))
+	k0 := int(math.Floor((p.Z - g.RSpread) / g.hz))
+	k1 := int(math.Ceil((p.Z + g.RSpread) / g.hz))
+	for k := k0; k <= k1; k++ {
+		dz := float64(k)*g.hz - p.Z
+		dz -= g.box.L.Z * math.Round(dz/g.box.L.Z)
+		kw := mod(k, g.Nz)
+		for j := j0; j <= j1; j++ {
+			dy := float64(j)*g.hy - p.Y
+			dy -= g.box.L.Y * math.Round(dy/g.box.L.Y)
+			jw := mod(j, g.Ny)
+			rowBase := (kw*g.Ny + jw) * g.Nx
+			for i := i0; i <= i1; i++ {
+				dx := float64(i)*g.hx - p.X
+				dx -= g.box.L.X * math.Round(dx/g.box.L.X)
+				d2 := dx*dx + dy*dy + dz*dz
+				if d2 > rc2 {
+					continue
+				}
+				fn(rowBase+mod(i, g.Nx), d2, vec.V3{X: dx, Y: dy, Z: dz})
+			}
+		}
+	}
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// MeshPointsPerAtom returns the average number of mesh points each charged
+// atom interacts with during spreading — the workload the HTIS mesh
+// variant of the NT method must cover (Figure 3c).
+func (g *GSE) MeshPointsPerAtom() float64 {
+	return 4.0 / 3.0 * math.Pi * math.Pow(g.RSpread, 3) / (g.hx * g.hy * g.hz)
+}

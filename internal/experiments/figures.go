@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"anton/internal/analysis"
+	"anton/internal/core"
+	"anton/internal/gomodel"
+	"anton/internal/machine"
+	"anton/internal/nt"
+	"anton/internal/refmd"
+	"anton/internal/system"
+	"anton/internal/trace"
+	"anton/internal/vec"
+)
+
+// Fig5 reproduces the performance-vs-system-size curves: protein-in-water
+// and water-only series on a 512-node machine.
+func Fig5() (string, error) {
+	m, err := machine.New(512)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: 512-node performance vs chemical system size\n")
+	fmt.Fprintf(&b, "%-8s %10s %16s %16s\n", "system", "atoms", "protein(us/day)", "water-only")
+	paper := map[string]float64{"gpW": 18.7, "DHFR": 16.4, "aSFP": 11.2, "NADHOx": 6.4, "FtsZ": 5.8, "T7Lig": 5.5}
+	for _, name := range system.Table4Names() {
+		spec, _ := system.SpecFor(name)
+		w := machine.WorkloadFromSpec(spec)
+		prot := machine.DefaultModel.Estimate(m, w)
+		wWater := w
+		wWater.BondTerms = 0
+		wWater.Exclusions = w.Atoms // 3 per 3-site water molecule
+		water := machine.DefaultModel.Estimate(m, wWater)
+		fmt.Fprintf(&b, "%-8s %10d %9.1f (%4.1f) %12.1f\n",
+			name, spec.TotalAtoms, prot.RatePerDay, paper[name], water.RatePerDay)
+	}
+	fmt.Fprintf(&b, "(water-only runs faster: no bond terms — paper reports 3-24%% gains)\n")
+	return b.String(), nil
+}
+
+// Fig5Curve sweeps a continuous range of synthetic system sizes through
+// the performance model, producing the smooth curves behind Figure 5
+// (the named systems are single points on these curves). Box sizes track
+// liquid water density; protein systems carry a typical protein fraction.
+func Fig5Curve() (string, error) {
+	m, err := machine.New(512)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (curves): modelled 512-node rate vs atom count\n")
+	fmt.Fprintf(&b, "%-10s %10s %14s %14s\n", "atoms", "side (Å)", "protein", "water-only")
+	for _, atoms := range []int{5000, 10000, 20000, 30000, 40000, 60000, 80000, 100000, 120000} {
+		side := math.Cbrt(float64(atoms) / 3 / system.WaterNumberDensity)
+		mesh := 32
+		if side > 80 {
+			mesh = 64
+		}
+		cutoff := 11.0
+		protAtoms := atoms / 10
+		spec := system.Spec{
+			Name: "sweep", TotalAtoms: atoms, Side: side, Cutoff: cutoff, Mesh: mesh,
+			ProteinAtoms: protAtoms,
+		}
+		w := machine.WorkloadFromSpec(spec)
+		prot := machine.DefaultModel.Estimate(m, w)
+		wWater := w
+		wWater.BondTerms = 0
+		water := machine.DefaultModel.Estimate(m, wWater)
+		fmt.Fprintf(&b, "%-10d %10.1f %14.1f %14.1f\n",
+			atoms, side, prot.RatePerDay, water.RatePerDay)
+	}
+	fmt.Fprintf(&b, "(plateau below ~25k atoms, inverse-size decline above — Figure 5's shape)\n")
+	return b.String(), nil
+}
+
+// Fig3 reproduces the import-region comparison behind Figure 3: NT vs
+// half-shell vs the symmetric mesh variant, and the subbox expansion.
+func Fig3() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: import-region volumes (Å^3), 13-Å cutoff\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %12s %12s\n",
+		"box side", "NT", "half-shell", "NT/HS", "mesh plate", "subbox(2^3)")
+	for _, side := range []float64{32, 16, 8, 4} {
+		c := nt.Config{BoxSide: side, Cutoff: 13}
+		c2 := nt.Config{BoxSide: side, Cutoff: 13, Subdiv: 2}
+		fmt.Fprintf(&b, "%-10g %12.0f %12.0f %10.2f %12.0f %12.0f\n",
+			side, c.ImportVolume(), c.HalfShellImportVolume(),
+			c.ImportVolume()/c.HalfShellImportVolume(),
+			c.MeshPlateImportVolume(13*7.1/10.4), c2.SubboxImportVolume())
+	}
+	fmt.Fprintf(&b, "(the NT advantage grows as boxes shrink — higher parallelism)\n")
+	return b.String(), nil
+}
+
+// Fig6 reproduces the backbone amide order-parameter comparison: S² per
+// residue estimated from an Anton-engine trajectory, a reference-engine
+// (Desmond-class) trajectory, and a synthetic "NMR" measurement. steps
+// and sampleEvery size the trajectories.
+func Fig6(steps, sampleEvery int) (string, error) {
+	built, err := system.ByName("GB3")
+	if err != nil {
+		return "", err
+	}
+	// Relax the synthetic packing before production (see equilibrate).
+	s, eqVel, err := equilibrate(built, 150)
+	if err != nil {
+		return "", err
+	}
+	// Backbone N-HN bonds and CA alignment selection per residue.
+	nRes := s.ProteinAtoms / system.AtomsPerResidue
+	var bonds [][2]int
+	var alignSel []int
+	for i := 0; i < nRes; i++ {
+		base := i * system.AtomsPerResidue
+		bonds = append(bonds, [2]int{base, base + 1}) // N -> HN
+		alignSel = append(alignSel, base+2)           // CA
+	}
+
+	runAnton := func(seed int64) ([][]vec.V3, error) {
+		cfg := core.DefaultConfig(8)
+		cfg.MigrationInterval = 1
+		cfg.Slack = 2.8
+		eng, err := core.NewEngine(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if seed == 101 {
+			eng.SetVelocities(eqVel)
+		} else {
+			rng := rand.New(rand.NewSource(seed))
+			eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+		}
+		tr := trace.New(s.NAtoms())
+		for done := 0; done < steps; done += sampleEvery {
+			eng.Step(sampleEvery)
+			if err := tr.Record(eng.StepCount(), float64(eng.StepCount())*cfg.Dt, eng.Positions(), 0); err != nil {
+				return nil, err
+			}
+		}
+		return tr.PositionFrames(), nil
+	}
+	runRef := func(seed int64) ([][]vec.V3, error) {
+		cfg := refmd.DefaultConfig(s)
+		eng, err := refmd.NewEngine(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if seed == 101 {
+			eng.SetVelocities(eqVel)
+		} else {
+			rng := rand.New(rand.NewSource(seed))
+			eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+		}
+		tr := trace.New(s.NAtoms())
+		for done := 0; done < steps; done += sampleEvery {
+			eng.Step(sampleEvery)
+			if err := tr.Record(eng.StepCount(), float64(eng.StepCount())*cfg.Dt, eng.R, 0); err != nil {
+				return nil, err
+			}
+		}
+		return tr.PositionFrames(), nil
+	}
+
+	antonFrames, err := runAnton(101)
+	if err != nil {
+		return "", err
+	}
+	refFrames, err := runRef(101)
+	if err != nil {
+		return "", err
+	}
+	// Synthetic "NMR": an independent trajectory (different seed) plus
+	// measurement noise — standing in for the experimental data of paper
+	// reference [13], which compares by shape.
+	nmrFrames, err := runRef(202)
+	if err != nil {
+		return "", err
+	}
+
+	antonS2, err := analysis.OrderParametersFromTrajectory(antonFrames, alignSel, bonds)
+	if err != nil {
+		return "", err
+	}
+	refS2, err := analysis.OrderParametersFromTrajectory(refFrames, alignSel, bonds)
+	if err != nil {
+		return "", err
+	}
+	nmrS2, err := analysis.OrderParametersFromTrajectory(nmrFrames, alignSel, bonds)
+	if err != nil {
+		return "", err
+	}
+	noise := rand.New(rand.NewSource(303))
+	for i := range nmrS2 {
+		nmrS2[i] += noise.NormFloat64() * 0.01
+		if nmrS2[i] > 1 {
+			nmrS2[i] = 1
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: GB3 backbone amide order parameters (S²) per residue\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s\n", "residue", "Anton", "refMD", "\"NMR\"")
+	var meanAbsDiff float64
+	for i := range bonds {
+		fmt.Fprintf(&b, "%-8d %8.3f %8.3f %8.3f\n", i, antonS2[i], refS2[i], nmrS2[i])
+		meanAbsDiff += abs(antonS2[i] - refS2[i])
+	}
+	meanAbsDiff /= float64(len(bonds))
+	fmt.Fprintf(&b, "mean |Anton - refMD| = %.4f (the two engines' estimates should be highly similar;\n", meanAbsDiff)
+	fmt.Fprintf(&b, "residual differences reflect chaotic divergence of finite trajectories — paper §5.2)\n")
+	return b.String(), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Fig7 reproduces the folding/unfolding trace: a structure-based model
+// run at a temperature near its melting point, reporting the Q(t) series
+// and the number of folded/unfolded transitions (the paper observed "a
+// sequence of folding and unfolding events" in gpW over 236 µs). The
+// model fold is reduced from gpW's 62 residues to 28 so that barrier
+// crossings are kinetically accessible within a test-scale step budget —
+// the same reason the phenomenon needed 236 µs of all-atom time in the
+// paper (see DESIGN.md substitutions).
+func Fig7(steps int) (string, error) {
+	nRes := 28
+	s, err := system.Build(system.Spec{
+		Name: "gpW-fold", TotalAtoms: nRes*system.AtomsPerResidue + 300, Side: 90,
+		Cutoff: 10, Mesh: 32, ProteinAtoms: nRes * system.AtomsPerResidue, Seed: 21,
+	})
+	if err != nil {
+		return "", err
+	}
+	var cas []vec.V3
+	for i := 0; i < nRes; i++ {
+		cas = append(cas, s.R[i*system.AtomsPerResidue+2])
+	}
+	model, err := gomodel.New(cas, 8.5)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: folding/unfolding events near the melting temperature\n")
+	best, bestT := -1, 0.0
+	var bestQ []float64
+	for _, T := range []float64{520, 560, 600} {
+		sim := gomodel.NewSim(model, T, 17)
+		q := sim.FoldingTrace(steps, steps/200)
+		n := analysis.TransitionCount(q, 0.72, 0.35)
+		fmt.Fprintf(&b, "T=%4.0fK: %3d transitions, mean Q %.2f\n", T, n, analysis.Mean(q))
+		if n > best {
+			best, bestT, bestQ = n, T, q
+		}
+	}
+	fmt.Fprintf(&b, "\nQ(t) at T=%.0fK (one row per sample; * marks folded >0.75, . unfolded <0.35):\n", bestT)
+	line := make([]byte, 0, len(bestQ))
+	for _, q := range bestQ {
+		switch {
+		case q > 0.72:
+			line = append(line, '*')
+		case q < 0.35:
+			line = append(line, '.')
+		default:
+			line = append(line, '-')
+		}
+	}
+	for i := 0; i < len(line); i += 80 {
+		end := i + 80
+		if end > len(line) {
+			end = len(line)
+		}
+		fmt.Fprintf(&b, "%s\n", line[i:end])
+	}
+	fmt.Fprintf(&b, "transitions at the melting temperature: %d (paper: repeated events — Figure 7a-c)\n", best)
+	return b.String(), nil
+}

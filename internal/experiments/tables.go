@@ -1,0 +1,362 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index): the execution-time
+// profiles of Table 2, the match efficiencies of Table 3, the
+// performance/accuracy matrix of Table 4, the size-scaling curves of
+// Figure 5, the order-parameter comparison of Figure 6, the
+// folding/unfolding trace of Figure 7, the import-region comparison
+// behind Figure 3, and the section 4/5.1 property and scaling
+// experiments. Each experiment returns a formatted text report; the
+// cmd/antonbench binary and the top-level benchmark suite both drive
+// these entry points.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"anton/internal/analysis"
+	"anton/internal/core"
+	"anton/internal/machine"
+	"anton/internal/nt"
+	"anton/internal/refmd"
+	"anton/internal/system"
+	"anton/internal/vec"
+)
+
+// Table1 reproduces the longest-published-simulations table, extending it
+// with this reproduction's projected Anton timescales from the calibrated
+// performance model.
+func Table1() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: longest published all-atom protein MD simulations (paper data)\n")
+	fmt.Fprintf(&b, "%-8s %-12s %-14s %-10s\n", "Len(us)", "Protein", "Hardware", "Software")
+	rows := []struct {
+		len      float64
+		protein  string
+		hardware string
+		software string
+	}{
+		{1031, "BPTI", "Anton", "[native]"},
+		{236, "gpW", "Anton", "[native]"},
+		{10, "WW domain", "x86 cluster", "NAMD"},
+		{2, "villin HP-35", "x86", "GROMACS"},
+		{2, "rhodopsin", "Blue Gene/L", "Blue Matter"},
+		{2, "b2AR", "x86 cluster", "Desmond"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8g %-12s %-14s %-10s\n", r.len, r.protein, r.hardware, r.software)
+	}
+	// Model-projected wall-clock for the BPTI millisecond on this
+	// reproduction's machine model.
+	spec, _ := system.SpecFor("BPTI")
+	m, err := machine.New(512)
+	if err != nil {
+		return "", err
+	}
+	p := machine.DefaultModel.Estimate(m, machine.WorkloadFromSpec(spec))
+	days := 1031.0 / p.RatePerDay
+	fmt.Fprintf(&b, "\nModelled BPTI rate on 512 nodes: %.1f us/day -> %.0f days for the 1031-us run\n",
+		p.RatePerDay, days)
+	fmt.Fprintf(&b, "(the paper's run proceeded at 9.8 us/day initially, 18.2 after tuning)\n")
+	return b.String(), nil
+}
+
+// Table2 reproduces the execution-time profile comparison: GROMACS-class
+// x86 core vs Anton, for both electrostatics parameter sets, on the DHFR
+// benchmark.
+func Table2() (string, error) {
+	spec, ok := system.SpecFor("DHFR")
+	if !ok {
+		return "", fmt.Errorf("experiments: DHFR spec missing")
+	}
+	mkWorkload := func(cutoff float64, mesh int) machine.Workload {
+		w := machine.WorkloadFromSpec(spec)
+		w.Cutoff = cutoff
+		w.Mesh = mesh
+		w.RSpread = cutoff * 7.1 / 10.4
+		return w
+	}
+	small := mkWorkload(9, 64)
+	large := mkWorkload(13, 32)
+	x86S := machine.DefaultX86.Estimate(small)
+	x86L := machine.DefaultX86.Estimate(large)
+	m, err := machine.New(512)
+	if err != nil {
+		return "", err
+	}
+	antS := machine.DefaultModel.Estimate(m, small)
+	antL := machine.DefaultModel.Estimate(m, large)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: per-time-step execution profile, DHFR (23,558 atoms)\n")
+	fmt.Fprintf(&b, "columns: x86 small(9Å,64³) | x86 large(13Å,32³) | Anton small | Anton large\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s %12s\n", "task", "ms", "ms", "us", "us")
+	row := func(name string, a, bb float64, c, d float64) {
+		fmt.Fprintf(&b, "%-22s %12.1f %12.1f %12.1f %12.1f\n", name, a*1e3, bb*1e3, c*1e6, d*1e6)
+	}
+	row("Range-limited forces", x86S.RangeLimited, x86L.RangeLimited, antS.RangeLimited, antL.RangeLimited)
+	row("FFT & inverse FFT", x86S.FFT, x86L.FFT, antS.FFT, antL.FFT)
+	row("Mesh interpolation", x86S.MeshInterp, x86L.MeshInterp, antS.MeshInterp, antL.MeshInterp)
+	row("Correction forces", x86S.Correction, x86L.Correction, antS.Correction, antL.Correction)
+	row("Bonded forces", x86S.Bonded, x86L.Bonded, antS.Bonded, antL.Bonded)
+	row("Integration", x86S.Integration, x86L.Integration, antS.Integration, antL.Integration)
+	row("Total (long-range step)", x86S.Total, x86L.Total, antS.TotalLongRange, antL.TotalLongRange)
+	fmt.Fprintf(&b, "\npaper totals: 88.5 ms | 184.5 ms | 39.2 us | 15.4 us\n")
+	fmt.Fprintf(&b, "x86 slowdown from parameter change: %.2fx (paper ~2.1x)\n", x86L.Total/x86S.Total)
+	fmt.Fprintf(&b, "Anton speedup from parameter change: %.2fx (paper ~2.5x)\n", antS.TotalLongRange/antL.TotalLongRange)
+	return b.String(), nil
+}
+
+// Table2Measured runs the actual Go reference engine on a reduced system
+// and reports the measured wall-time shares per task — confirming that
+// the commodity profile *shape* (range-limited dominance) emerges from a
+// real implementation, not only the analytic model.
+func Table2Measured(steps int) (string, error) {
+	s, err := system.Small(true, 77)
+	if err != nil {
+		return "", err
+	}
+	cfg := refmd.DefaultConfig(s)
+	e, err := refmd.NewEngine(s, cfg)
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(7))
+	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	e.Step(steps)
+
+	var total float64
+	for t := refmd.TaskRangeLimited; t <= refmd.TaskPairList; t++ {
+		total += e.Profile[t].Seconds()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Measured Go reference-engine profile (%d atoms, %d steps):\n", s.NAtoms(), steps)
+	for t := refmd.TaskRangeLimited; t <= refmd.TaskPairList; t++ {
+		sec := e.Profile[t].Seconds()
+		fmt.Fprintf(&b, "%-22s %8.2f ms  (%4.1f%%)\n", refmd.TaskNames[t], sec*1e3, 100*sec/total)
+	}
+	return b.String(), nil
+}
+
+// Table3 reproduces the NT-method match-efficiency grid.
+func Table3(samples int) (string, error) {
+	if samples <= 0 {
+		samples = 300000
+	}
+	rng := rand.New(rand.NewSource(42))
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: match efficiency of the NT method, 13-Å cutoff\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s\n", "box side", "1x1x1", "2x2x2", "4x4x4")
+	paper := map[[2]int]int{
+		{8, 1}: 25, {8, 2}: 40, {8, 4}: 51,
+		{16, 1}: 12, {16, 2}: 25, {16, 4}: 40,
+		{32, 1}: 4, {32, 2}: 12, {32, 4}: 25,
+	}
+	for _, side := range []int{8, 16, 32} {
+		fmt.Fprintf(&b, "%-12d", side)
+		for _, subdiv := range []int{1, 2, 4} {
+			me := nt.MatchEfficiency(nt.Config{BoxSide: float64(side), Cutoff: 13, Subdiv: subdiv}, rng, samples)
+			fmt.Fprintf(&b, "  %3.0f%%(%2d%%)", me*100, paper[[2]int{side, subdiv}])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(measured%%, paper%% in parentheses)\n")
+	return b.String(), nil
+}
+
+// Table4Row holds one system's Table 4 measurements.
+type Table4Row struct {
+	Name            string
+	Atoms           int
+	Side            float64
+	Cutoff          float64
+	Mesh            int
+	RateUsPerDay    float64 // modelled
+	EnergyDrift     float64 // kcal/mol/DoF/us, measured (NaN if skipped)
+	TotalForceErr   float64 // vs conservative double-precision reference
+	NumericForceErr float64 // vs same-parameter double-precision reference
+}
+
+// Table4 reproduces the accuracy/performance matrix. In quick mode only
+// gpW runs the (expensive) dynamical measurements; the modelled rates
+// cover all six systems either way. driftSteps controls the length of the
+// NVE drift measurement.
+func Table4(quick bool, driftSteps int) (string, []Table4Row, error) {
+	m, err := machine.New(512)
+	if err != nil {
+		return "", nil, err
+	}
+	var rows []Table4Row
+	for _, name := range system.Table4Names() {
+		spec, _ := system.SpecFor(name)
+		p := machine.DefaultModel.Estimate(m, machine.WorkloadFromSpec(spec))
+		row := Table4Row{
+			Name: name, Atoms: spec.TotalAtoms, Side: spec.Side,
+			Cutoff: spec.Cutoff, Mesh: spec.Mesh,
+			RateUsPerDay: p.RatePerDay,
+		}
+		measure := name == "gpW" || !quick
+		if measure {
+			drift, totErr, numErr, err := measureAccuracy(name, driftSteps)
+			if err != nil {
+				return "", nil, fmt.Errorf("measuring %s: %w", name, err)
+			}
+			row.EnergyDrift = drift
+			row.TotalForceErr = totErr
+			row.NumericForceErr = numErr
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: accuracy and performance of the protein systems (512 nodes)\n")
+	fmt.Fprintf(&b, "%-8s %8s %7s %7s %5s %10s %12s %12s %12s\n",
+		"system", "atoms", "side", "cutoff", "mesh", "us/day", "drift", "tot f-err", "num f-err")
+	paperRate := map[string]float64{"gpW": 18.7, "DHFR": 16.4, "aSFP": 11.2, "NADHOx": 6.4, "FtsZ": 5.8, "T7Lig": 5.5}
+	for _, r := range rows {
+		drift := "-"
+		tot := "-"
+		num := "-"
+		if r.TotalForceErr != 0 {
+			drift = fmt.Sprintf("%.3f", r.EnergyDrift)
+			tot = fmt.Sprintf("%.1e", r.TotalForceErr)
+			num = fmt.Sprintf("%.1e", r.NumericForceErr)
+		}
+		fmt.Fprintf(&b, "%-8s %8d %7.1f %7.1f %5d %5.1f(%4.1f) %12s %12s %12s\n",
+			r.Name, r.Atoms, r.Side, r.Cutoff, r.Mesh, r.RateUsPerDay, paperRate[r.Name], drift, tot, num)
+	}
+	fmt.Fprintf(&b, "(us/day: modelled, paper value in parentheses. paper errors: total ~6-8e-5, numerical ~9e-6;\n")
+	fmt.Fprintf(&b, " paper drift: 0.015-0.053 kcal/mol/DoF/us)\n")
+	return b.String(), rows, nil
+}
+
+// equilibrate relaxes a freshly built (lattice-packed) system with a
+// short, tightly thermostatted small-step run on the reference engine,
+// returning a copy of the system with the equilibrated coordinates and
+// the final velocities. Synthetic initial structures carry packing
+// hotspots that would otherwise inject heat into the measurement runs.
+func equilibrate(s *system.System, steps int) (*system.System, []vec.V3, error) {
+	// Stage 1: small steps, tight thermostat — drains packing hotspots.
+	cfg := refmd.DefaultConfig(s)
+	cfg.Dt = 0.5
+	cfg.TauT = 5
+	cfg.TargetT = 300
+	eng, err := refmd.NewEngine(s, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(1234))
+	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	eng.Step(steps)
+
+	// Stage 2: intermediate step with moderate coupling — settles the
+	// water orientations that still carry large torques after stage 1.
+	mid := *s
+	mid.R = make([]vec.V3, len(eng.R))
+	for i := range eng.R {
+		mid.R[i] = s.Box.Wrap(eng.R[i])
+	}
+	cfg2 := refmd.DefaultConfig(&mid)
+	cfg2.Dt = 1.25
+	cfg2.TauT = 25
+	cfg2.TargetT = 300
+	eng2, err := refmd.NewEngine(&mid, cfg2)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng2.SetVelocities(eng.V)
+	eng2.Step(steps)
+
+	out := *s
+	out.R = make([]vec.V3, len(eng2.R))
+	for i := range eng2.R {
+		out.R[i] = s.Box.Wrap(eng2.R[i])
+	}
+	return &out, append([]vec.V3(nil), eng2.V...), nil
+}
+
+// measureAccuracy runs the Anton engine on the named system and measures
+// the Table 4 error columns:
+//   - numerical force error: Anton forces vs a double-precision engine
+//     with the *same* parameters (GSE, same sigma/mesh);
+//   - total force error: Anton forces vs a conservative reference (exact
+//     k-space sum with a large kmax on small systems; high-order SPME on
+//     a finer mesh otherwise);
+//   - energy drift: NVE total-energy slope over driftSteps.
+func measureAccuracy(name string, driftSteps int) (drift, totErr, numErr float64, err error) {
+	built, err := system.ByName(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s, vel, err := equilibrate(built, 120)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Anton engine forces.
+	cfg := core.DefaultConfig(8)
+	cfg.MTSInterval = 1
+	cfg.MigrationInterval = 1
+	cfg.Slack = 2.8
+	eng, err := core.NewEngine(s, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng.Step(0) // force evaluation at the initial state
+	antonF := eng.Forces()
+
+	// Same-parameter double-precision reference (numerical force error).
+	rcfg := refmd.DefaultConfig(s)
+	rcfg.Method = refmd.UseGSE
+	rcfg.MTSInterval = 1
+	ref, err := refmd.NewEngine(s, rcfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ref.ComputeForces()
+	numErr, err = analysis.ForceError(antonF, ref.F)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Conservative reference (total force error): SPME order 8 on a
+	// double-resolution mesh with a tighter Ewald tolerance.
+	ccfg := refmd.DefaultConfig(s)
+	ccfg.Method = refmd.UseSPME
+	ccfg.SPMEOrder = 8
+	ccfg.Mesh = s.Mesh * 2
+	ccfg.EwaldTol = 1e-7
+	ccfg.MTSInterval = 1
+	cons, err := refmd.NewEngine(s, ccfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cons.ComputeForces()
+	totErr, err = analysis.ForceError(antonF, cons.F)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Energy drift: unthermostatted run from the equilibrated state.
+	dcfg := core.DefaultConfig(8)
+	dcfg.TauT = 0
+	dcfg.MigrationInterval = 1
+	dcfg.Slack = 2.8
+	deng, err := core.NewEngine(s, dcfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	deng.SetVelocities(vel)
+	var times, energies []float64
+	deng.Step(4) // settle constraints/quantization
+	for step := 0; step < driftSteps; step += 2 {
+		deng.Step(2)
+		times = append(times, float64(deng.StepCount())*dcfg.Dt)
+		energies = append(energies, deng.TotalEnergy())
+	}
+	drift, err = analysis.EnergyDrift(times, energies, s.Top.DegreesOfFreedom())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return drift, totErr, numErr, nil
+}

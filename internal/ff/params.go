@@ -1,0 +1,40 @@
+package ff
+
+import "math"
+
+// ParamSet carries the nonbonded parameter tables shared by all engines.
+type ParamSet struct {
+	LJTypes []LJType
+}
+
+// LJPair returns the combined Lennard-Jones parameters for a pair of atom
+// types using Lorentz-Berthelot combination rules (arithmetic sigma,
+// geometric epsilon), the convention of the AMBER-family force fields the
+// paper's simulations use.
+func (p *ParamSet) LJPair(ti, tj int) (sigma, epsilon float64) {
+	a, b := p.LJTypes[ti], p.LJTypes[tj]
+	return 0.5 * (a.Sigma + b.Sigma), math.Sqrt(a.Epsilon * b.Epsilon)
+}
+
+// LJ126 evaluates the Lennard-Jones 12-6 energy and the magnitude factor
+// of the force for squared distance r2: V = 4*eps*((s/r)^12 - (s/r)^6) and
+// F = fScale * rVec where fScale = 24*eps*(2*(s/r)^12 - (s/r)^6)/r^2.
+// Splitting force as a scale times the displacement vector avoids a square
+// root — the same trick that lets Anton's PPIP tables index by r^2.
+func LJ126(r2, sigma, epsilon float64) (energy, fScale float64) {
+	s2 := sigma * sigma / r2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	energy = 4 * epsilon * (s12 - s6)
+	fScale = 24 * epsilon * (2*s12 - s6) / r2
+	return
+}
+
+// Coulomb evaluates the bare Coulomb energy and force scale for charges
+// qi, qj at squared distance r2: V = k*qi*qj/r, F = V/r^2 * rVec.
+func Coulomb(r2, qi, qj float64) (energy, fScale float64) {
+	r := math.Sqrt(r2)
+	energy = CoulombK * qi * qj / r
+	fScale = energy / r2
+	return
+}

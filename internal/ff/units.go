@@ -1,0 +1,42 @@
+// Package ff implements the biomolecular force-field machinery that both
+// the Anton engine (internal/core) and the commodity reference engine
+// (internal/refmd) evaluate: topology (bonds, angles, dihedrals,
+// exclusions, constraint groups), Lennard-Jones and Coulomb parameters,
+// water models (rigid TIP3P and four-site TIP4P-Ew), and the bonded force
+// kernels. Commonly used force fields express the total force as bonded +
+// van der Waals + electrostatic contributions (paper section 2.1); this
+// package provides the first two and the parameters for the third
+// (internal/ewald computes it).
+//
+// Units follow the AKMA-style convention used by most MD codes:
+// lengths in Å, energies in kcal/mol, masses in amu, charges in units of
+// the elementary charge, and time in femtoseconds.
+package ff
+
+// Physical constants in internal units.
+const (
+	// KB is Boltzmann's constant in kcal/mol/K.
+	KB = 0.0019872041
+
+	// CoulombK is the electrostatic constant e^2/(4*pi*eps0) in
+	// kcal*Å/(mol*e^2): V(r) = CoulombK * q1*q2 / r.
+	CoulombK = 332.06371
+
+	// ForceToAccel converts force/mass (kcal/mol/Å per amu) into
+	// acceleration in Å/fs^2: a = ForceToAccel * F/m.
+	ForceToAccel = 4.184e-4
+
+	// VelToKinetic converts m*v^2 (amu*(Å/fs)^2) into kcal/mol:
+	// KE = 0.5 * VelToKinetic * m * v^2. It is 1/ForceToAccel.
+	VelToKinetic = 1.0 / ForceToAccel
+)
+
+// Standard atomic masses (amu) for the synthetic systems.
+const (
+	MassH  = 1.008
+	MassC  = 12.011
+	MassN  = 14.007
+	MassO  = 15.999
+	MassS  = 32.06
+	MassCl = 35.45
+)

@@ -1,0 +1,188 @@
+package ff
+
+import (
+	"math"
+
+	"anton/internal/vec"
+)
+
+// Water model geometry shared by TIP3P and TIP4P-Ew.
+const (
+	waterROH      = 0.9572                 // Å
+	waterAngleHOH = 104.52 * math.Pi / 180 // radians
+)
+
+// WaterRHH is the H-H distance implied by the rigid geometry.
+var WaterRHH = 2 * waterROH * math.Sin(waterAngleHOH/2)
+
+// TIP3P parameters (Jorgensen). The molecule is held rigid by constraints
+// (paper §5.1: water-only systems run faster because rigid water needs no
+// bond terms).
+const (
+	TIP3PChargeO = -0.834
+	TIP3PChargeH = +0.417
+	TIP3PSigmaO  = 3.15061
+	TIP3PEpsO    = 0.1521
+)
+
+// TIP4P-Ew parameters (Horn et al. 2004, paper reference [16]). Four
+// particles per molecule: O (LJ only), two H (charge only) and the
+// massless M site carrying the negative charge.
+const (
+	TIP4PEwChargeH = +0.52422
+	TIP4PEwChargeM = -1.04844
+	TIP4PEwSigmaO  = 3.16435
+	TIP4PEwEpsO    = 0.16275
+	TIP4PEwDOM     = 0.125 // O-M distance along the bisector, Å
+)
+
+// tip4pVsiteCoeff is the linear-combination coefficient c such that
+// rM = rO + c*((rH1-rO) + (rH2-rO)) places M at distance DOM along the
+// H-O-H bisector for the rigid geometry.
+var tip4pVsiteCoeff = TIP4PEwDOM / (2 * waterROH * math.Cos(waterAngleHOH/2))
+
+// WaterModel selects a water representation.
+type WaterModel int
+
+const (
+	// TIP3P is the three-site rigid model used by most of the paper's
+	// benchmark systems (Table 4).
+	TIP3P WaterModel = iota
+	// TIP4PEw is the four-site model used by the BPTI millisecond run
+	// (paper §5.3: "each of the four particles ... is treated
+	// computationally as an atom").
+	TIP4PEw
+)
+
+// SitesPerMolecule returns the particle count per water molecule.
+func (m WaterModel) SitesPerMolecule() int {
+	if m == TIP4PEw {
+		return 4
+	}
+	return 3
+}
+
+// String implements fmt.Stringer.
+func (m WaterModel) String() string {
+	if m == TIP4PEw {
+		return "TIP4P-Ew"
+	}
+	return "TIP3P"
+}
+
+// ljTypeFor registers (once) and returns the LJ type index for the model's
+// oxygen, plus the shared zero-LJ type for hydrogens and M sites.
+func ensureLJType(p *ParamSet, name string, sigma, eps float64) int {
+	for i, t := range p.LJTypes {
+		if t.Name == name {
+			return i
+		}
+	}
+	p.LJTypes = append(p.LJTypes, LJType{Name: name, Sigma: sigma, Epsilon: eps})
+	return len(p.LJTypes) - 1
+}
+
+// AddWater appends one water molecule to the topology with the oxygen at
+// position o and the molecular plane/orientation derived from the two unit
+// vectors u (bisector direction) and v (in-plane perpendicular). It
+// returns the generated particle positions, appending the corresponding
+// atoms, constraints, exclusions-to-be and (for TIP4P-Ew) the virtual
+// site to t. Call Topology.BuildExclusions after all molecules are added.
+func AddWater(t *Topology, p *ParamSet, model WaterModel, o, u, v vec.V3, residue int) []vec.V3 {
+	ljO := ensureLJType(p, "OW-"+model.String(), modelSigma(model), modelEps(model))
+	ljNone := ensureLJType(p, "none", 0, 0)
+
+	g := WaterGeometry(model, o, u, v)
+	h1, h2 := g[1], g[2]
+
+	base := len(t.Atoms)
+	switch model {
+	case TIP3P:
+		t.Atoms = append(t.Atoms,
+			Atom{Name: "OW", Mass: MassO, Charge: TIP3PChargeO, LJType: ljO, Residue: residue},
+			Atom{Name: "HW1", Mass: MassH, Charge: TIP3PChargeH, LJType: ljNone, Residue: residue},
+			Atom{Name: "HW2", Mass: MassH, Charge: TIP3PChargeH, LJType: ljNone, Residue: residue},
+		)
+		t.Constraints = append(t.Constraints,
+			Constraint{I: base, J: base + 1, R: waterROH},
+			Constraint{I: base, J: base + 2, R: waterROH},
+			Constraint{I: base + 1, J: base + 2, R: WaterRHH},
+		)
+		return []vec.V3{o, h1, h2}
+	case TIP4PEw:
+		m := g[3]
+		t.Atoms = append(t.Atoms,
+			Atom{Name: "OW", Mass: MassO, Charge: 0, LJType: ljO, Residue: residue},
+			Atom{Name: "HW1", Mass: MassH, Charge: TIP4PEwChargeH, LJType: ljNone, Residue: residue},
+			Atom{Name: "HW2", Mass: MassH, Charge: TIP4PEwChargeH, LJType: ljNone, Residue: residue},
+			Atom{Name: "MW", Mass: 0, Charge: TIP4PEwChargeM, LJType: ljNone, Residue: residue},
+		)
+		t.Constraints = append(t.Constraints,
+			Constraint{I: base, J: base + 1, R: waterROH},
+			Constraint{I: base, J: base + 2, R: waterROH},
+			Constraint{I: base + 1, J: base + 2, R: WaterRHH},
+		)
+		t.VSites = append(t.VSites, VSite{
+			Site: base + 3, I: base, J: base + 1, K: base + 2,
+			A: tip4pVsiteCoeff, B: tip4pVsiteCoeff,
+		})
+		return []vec.V3{o, h1, h2, m}
+	}
+	panic("ff: unknown water model")
+}
+
+// WaterGeometry returns the site positions of one water molecule (O, H1,
+// H2[, M]) with the oxygen at o, bisector direction u and in-plane
+// perpendicular v, without touching any topology — useful for trial
+// placements during system packing.
+func WaterGeometry(model WaterModel, o, u, v vec.V3) []vec.V3 {
+	half := waterAngleHOH / 2
+	h1 := o.Add(u.Scale(waterROH * math.Cos(half))).Add(v.Scale(waterROH * math.Sin(half)))
+	h2 := o.Add(u.Scale(waterROH * math.Cos(half))).Sub(v.Scale(waterROH * math.Sin(half)))
+	if model == TIP4PEw {
+		m := o.Add(h1.Sub(o).Add(h2.Sub(o)).Scale(tip4pVsiteCoeff))
+		return []vec.V3{o, h1, h2, m}
+	}
+	return []vec.V3{o, h1, h2}
+}
+
+func modelSigma(m WaterModel) float64 {
+	if m == TIP4PEw {
+		return TIP4PEwSigmaO
+	}
+	return TIP3PSigmaO
+}
+
+func modelEps(m WaterModel) float64 {
+	if m == TIP4PEw {
+		return TIP4PEwEpsO
+	}
+	return TIP3PEpsO
+}
+
+// PlaceVSites recomputes the positions of all virtual sites from their
+// parents: r_s = r_i + A*(r_j - r_i) + B*(r_k - r_i). Must be called after
+// every position update and before force evaluation. Displacements are
+// taken minimum-image so molecules straddling the boundary stay intact.
+func PlaceVSites(t *Topology, box vec.Box, r []vec.V3) {
+	for _, v := range t.VSites {
+		dj := box.MinImage(r[v.J].Sub(r[v.I]))
+		dk := box.MinImage(r[v.K].Sub(r[v.I]))
+		r[v.Site] = box.Wrap(r[v.I].Add(dj.Scale(v.A)).Add(dk.Scale(v.B)))
+	}
+}
+
+// SpreadVSiteForces redistributes the force accumulated on each massless
+// virtual site onto its parent atoms, exactly (the site position is a
+// linear combination of parent positions, so the chain rule gives constant
+// weights), then zeroes the site force. Must be called after force
+// evaluation and before integration.
+func SpreadVSiteForces(t *Topology, f []vec.V3) {
+	for _, v := range t.VSites {
+		fs := f[v.Site]
+		f[v.I] = f[v.I].Add(fs.Scale(1 - v.A - v.B))
+		f[v.J] = f[v.J].Add(fs.Scale(v.A))
+		f[v.K] = f[v.K].Add(fs.Scale(v.B))
+		f[v.Site] = vec.Zero
+	}
+}

@@ -1,0 +1,144 @@
+package ff
+
+import (
+	"math"
+	"testing"
+
+	"anton/internal/vec"
+)
+
+func TestWaterGeometryTIP3P(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	r := AddWater(top, p, TIP3P, vec.Zero, vec.V3{X: 1}, vec.V3{Y: 1}, 0)
+	if len(r) != 3 {
+		t.Fatalf("TIP3P sites: got %d", len(r))
+	}
+	if d := vec.Dist(r[0], r[1]); math.Abs(d-waterROH) > 1e-12 {
+		t.Errorf("O-H1 distance: %g", d)
+	}
+	if d := vec.Dist(r[0], r[2]); math.Abs(d-waterROH) > 1e-12 {
+		t.Errorf("O-H2 distance: %g", d)
+	}
+	if a := vec.Angle(r[1], r[0], r[2]); math.Abs(a-waterAngleHOH) > 1e-12 {
+		t.Errorf("H-O-H angle: %g, want %g", a, waterAngleHOH)
+	}
+	if d := vec.Dist(r[1], r[2]); math.Abs(d-WaterRHH) > 1e-12 {
+		t.Errorf("H-H distance: %g, want %g", d, WaterRHH)
+	}
+}
+
+func TestWaterGeometryTIP4PEw(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	r := AddWater(top, p, TIP4PEw, vec.V3{X: 5, Y: 5, Z: 5}, vec.V3{X: 1}, vec.V3{Z: 1}, 0)
+	if len(r) != 4 {
+		t.Fatalf("TIP4P-Ew sites: got %d", len(r))
+	}
+	// M site is DOM from O along the bisector.
+	if d := vec.Dist(r[0], r[3]); math.Abs(d-TIP4PEwDOM) > 1e-9 {
+		t.Errorf("O-M distance: %g, want %g", d, TIP4PEwDOM)
+	}
+	// M lies on the bisector: equidistant from both hydrogens.
+	if d1, d2 := vec.Dist(r[3], r[1]), vec.Dist(r[3], r[2]); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("M not on bisector: %g vs %g", d1, d2)
+	}
+	// Charge neutral with no charge on O.
+	if top.Atoms[0].Charge != 0 {
+		t.Error("TIP4P-Ew oxygen should carry no charge")
+	}
+	if q := top.TotalCharge(); math.Abs(q) > 1e-9 {
+		t.Errorf("net charge: %g", q)
+	}
+}
+
+func TestPlaceVSitesMatchesConstruction(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	box := vec.Cube(20)
+	r := AddWater(top, p, TIP4PEw, vec.V3{X: 2, Y: 3, Z: 4}, vec.V3{Y: 1}, vec.V3{Z: 1}, 0)
+	// Perturb the M site, then restore it with PlaceVSites.
+	rr := append([]vec.V3(nil), r...)
+	rr[3] = vec.V3{X: 99}
+	PlaceVSites(top, box, rr)
+	if d := vec.Dist(rr[3], r[3]); d > 1e-12 {
+		t.Errorf("PlaceVSites drifted M by %g", d)
+	}
+}
+
+func TestPlaceVSitesAcrossBoundary(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	box := vec.Cube(10)
+	// Water with O right at the boundary; H positions wrap.
+	r := AddWater(top, p, TIP4PEw, vec.V3{X: 9.99, Y: 5, Z: 5}, vec.V3{X: 1}, vec.V3{Y: 1}, 0)
+	for i := range r {
+		r[i] = box.Wrap(r[i])
+	}
+	PlaceVSites(top, box, r)
+	// The M site must remain DOM from the O under minimum image.
+	if d := box.Dist(r[0], r[3]); math.Abs(d-TIP4PEwDOM) > 1e-9 {
+		t.Errorf("O-M distance across boundary: %g", d)
+	}
+}
+
+func TestSpreadVSiteForces(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	AddWater(top, p, TIP4PEw, vec.Zero, vec.V3{X: 1}, vec.V3{Y: 1}, 0)
+	f := make([]vec.V3, 4)
+	f[3] = vec.V3{X: 1, Y: -2, Z: 0.5}
+	total := f[3]
+	SpreadVSiteForces(top, f)
+	if f[3] != vec.Zero {
+		t.Errorf("vsite force not cleared: %v", f[3])
+	}
+	sum := f[0].Add(f[1]).Add(f[2])
+	if sum.Sub(total).MaxAbs() > 1e-12 {
+		t.Errorf("force not conserved: spread sum %v, want %v", sum, total)
+	}
+	// O receives the dominant share (1 - A - B of the force).
+	v := top.VSites[0]
+	wantO := total.Scale(1 - v.A - v.B)
+	if f[0].Sub(wantO).MaxAbs() > 1e-12 {
+		t.Errorf("O share: got %v, want %v", f[0], wantO)
+	}
+}
+
+func TestSpreadVSiteTorqueConserved(t *testing.T) {
+	// For a linear-combination site, spreading preserves net torque too.
+	top := &Topology{}
+	p := &ParamSet{}
+	r := AddWater(top, p, TIP4PEw, vec.V3{X: 1, Y: 2, Z: 3}, vec.V3{X: 1}, vec.V3{Y: 1}, 0)
+	f := make([]vec.V3, 4)
+	f[3] = vec.V3{X: 0.3, Y: 0.7, Z: -0.2}
+	torqueBefore := r[3].Cross(f[3])
+	SpreadVSiteForces(top, f)
+	var torqueAfter vec.V3
+	for i := 0; i < 3; i++ {
+		torqueAfter = torqueAfter.Add(r[i].Cross(f[i]))
+	}
+	if torqueAfter.Sub(torqueBefore).MaxAbs() > 1e-12 {
+		t.Errorf("torque changed: %v -> %v", torqueBefore, torqueAfter)
+	}
+}
+
+func TestWaterModelStrings(t *testing.T) {
+	if TIP3P.String() != "TIP3P" || TIP4PEw.String() != "TIP4P-Ew" {
+		t.Error("water model names wrong")
+	}
+	if TIP3P.SitesPerMolecule() != 3 || TIP4PEw.SitesPerMolecule() != 4 {
+		t.Error("sites per molecule wrong")
+	}
+}
+
+func TestEnsureLJTypeDedup(t *testing.T) {
+	top := &Topology{}
+	p := &ParamSet{}
+	AddWater(top, p, TIP3P, vec.Zero, vec.V3{X: 1}, vec.V3{Y: 1}, 0)
+	AddWater(top, p, TIP3P, vec.V3{X: 5}, vec.V3{X: 1}, vec.V3{Y: 1}, 1)
+	// Two molecules share the same LJ types: exactly 2 registered (OW, none).
+	if len(p.LJTypes) != 2 {
+		t.Errorf("LJ types: got %d (%v), want 2", len(p.LJTypes), p.LJTypes)
+	}
+}

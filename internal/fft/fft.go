@@ -1,0 +1,113 @@
+// Package fft implements the fast Fourier transforms Anton needs for
+// long-range electrostatics: a from-scratch radix-2 complex FFT, serial 3D
+// transforms over regular meshes, and a functional model of Anton's
+// distributed 3D FFT (Young et al., "A 32x32x32, spatially distributed 3D
+// FFT in four microseconds on Anton", SC'09 — reference [36] of the paper),
+// which decomposes the 3D transform into sets of 1D line FFTs along each
+// axis and exchanges data over the torus, counting the many small messages
+// that this strategy sends.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// twiddleCache caches the roots of unity for each transform size, keyed by
+// log2(n). Index tables are cheap to recompute; twiddles dominate setup.
+var twiddleCache = map[uint][]complex128{}
+
+// twiddles returns the first n/2 forward twiddle factors exp(-2*pi*i*k/n).
+func twiddles(n int) []complex128 {
+	lg := uint(bits.TrailingZeros(uint(n)))
+	if w, ok := twiddleCache[lg]; ok {
+		return w
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w[k] = cmplx.Exp(complex(0, ang))
+	}
+	twiddleCache[lg] = w
+	return w
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of x. len(x) must be a power
+// of two. The transform is unnormalized: Forward followed by Inverse
+// returns the original values.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization. len(x) must be a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// transform is an iterative decimation-in-time radix-2 FFT.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	bitReverse(x)
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size // stride into the twiddle table
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = cmplx.Conj(tw)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bitReverse permutes x into bit-reversed order.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// DFT computes the discrete Fourier transform by the O(n^2) definition.
+// It exists as an independent oracle for testing the fast path and has no
+// length restriction.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k*t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}

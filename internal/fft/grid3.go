@@ -1,0 +1,101 @@
+package fft
+
+import "fmt"
+
+// Grid3 is a dense 3D complex mesh with power-of-two dimensions, stored in
+// row-major order with x fastest: index = (k*Ny + j)*Nx + i. It is the
+// serial counterpart of Anton's distributed charge mesh.
+type Grid3 struct {
+	Nx, Ny, Nz int
+	Data       []complex128
+}
+
+// NewGrid3 allocates an Nx x Ny x Nz mesh. All dimensions must be powers
+// of two.
+func NewGrid3(nx, ny, nz int) *Grid3 {
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
+		panic(fmt.Sprintf("fft: grid dims %dx%dx%d must be powers of two", nx, ny, nz))
+	}
+	return &Grid3{Nx: nx, Ny: ny, Nz: nz, Data: make([]complex128, nx*ny*nz)}
+}
+
+// Index returns the linear index of mesh point (i, j, k).
+func (g *Grid3) Index(i, j, k int) int { return (k*g.Ny+j)*g.Nx + i }
+
+// At returns the value at (i, j, k).
+func (g *Grid3) At(i, j, k int) complex128 { return g.Data[g.Index(i, j, k)] }
+
+// Set stores v at (i, j, k).
+func (g *Grid3) Set(i, j, k int, v complex128) { g.Data[g.Index(i, j, k)] = v }
+
+// Clone returns a deep copy of g.
+func (g *Grid3) Clone() *Grid3 {
+	c := NewGrid3(g.Nx, g.Ny, g.Nz)
+	copy(c.Data, g.Data)
+	return c
+}
+
+// Zero clears the mesh.
+func (g *Grid3) Zero() {
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
+}
+
+// Forward3 performs the unnormalized forward 3D FFT in place, as three
+// passes of 1D line transforms (x, then y, then z) — the same axis-by-axis
+// decomposition Anton's distributed implementation uses.
+func (g *Grid3) Forward3() { g.transform3(false) }
+
+// Inverse3 performs the inverse 3D FFT in place, including the 1/(Nx*Ny*Nz)
+// normalization.
+func (g *Grid3) Inverse3() {
+	g.transform3(true)
+	scale := complex(1/float64(g.Nx*g.Ny*g.Nz), 0)
+	for i := range g.Data {
+		g.Data[i] *= scale
+	}
+}
+
+func (g *Grid3) transform3(inverse bool) {
+	// X lines: contiguous.
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			base := g.Index(0, j, k)
+			line := g.Data[base : base+g.Nx]
+			transform(line, inverse)
+		}
+	}
+	// Y lines: stride Nx.
+	buf := make([]complex128, maxInt(g.Ny, g.Nz))
+	for k := 0; k < g.Nz; k++ {
+		for i := 0; i < g.Nx; i++ {
+			for j := 0; j < g.Ny; j++ {
+				buf[j] = g.At(i, j, k)
+			}
+			transform(buf[:g.Ny], inverse)
+			for j := 0; j < g.Ny; j++ {
+				g.Set(i, j, k, buf[j])
+			}
+		}
+	}
+	// Z lines: stride Nx*Ny.
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			for k := 0; k < g.Nz; k++ {
+				buf[k] = g.At(i, j, k)
+			}
+			transform(buf[:g.Nz], inverse)
+			for k := 0; k < g.Nz; k++ {
+				g.Set(i, j, k, buf[k])
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

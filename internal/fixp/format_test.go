@@ -1,0 +1,137 @@
+package fixp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatQuantizeValue(t *testing.T) {
+	f := NewFormat(8, 16.0) // 8-bit format over [-16, 16): the low-precision distance check class
+	if got := f.Resolution(); got != 16.0/128 {
+		t.Errorf("resolution: got %v", got)
+	}
+	for _, x := range []float64{0, 1, -1, 15.9, -16, 0.0625} {
+		raw := f.Quantize(x)
+		back := f.Value(raw)
+		if math.Abs(back-x) > f.Resolution()/2+1e-12 {
+			t.Errorf("quantize %v: back %v (res %v)", x, back, f.Resolution())
+		}
+	}
+}
+
+func TestFormatWrapAndSat(t *testing.T) {
+	f := NewFormat(8, 1.0)
+	// +1.0 is out of range [-1, 1): wraps to -1.0, saturates to max.
+	if got := f.Quantize(1.0); got != f.MinRaw() {
+		t.Errorf("wrap of +1.0: got %d, want %d", got, f.MinRaw())
+	}
+	if got := f.QuantizeSat(1.0); got != f.MaxRaw() {
+		t.Errorf("sat of +1.0: got %d, want %d", got, f.MaxRaw())
+	}
+	if got := f.QuantizeSat(-5.0); got != f.MinRaw() {
+		t.Errorf("sat of -5: got %d, want %d", got, f.MinRaw())
+	}
+}
+
+func TestFormatRawBounds(t *testing.T) {
+	for _, bits := range []uint{2, 8, 19, 22, 26, 32, 63} {
+		f := NewFormat(bits, 1)
+		if f.MaxRaw() != int64(1)<<(bits-1)-1 || f.MinRaw() != -(int64(1)<<(bits-1)) {
+			t.Errorf("bits=%d: bounds %d..%d wrong", bits, f.MinRaw(), f.MaxRaw())
+		}
+	}
+}
+
+func TestNewFormatPanics(t *testing.T) {
+	for _, c := range []struct {
+		bits  uint
+		scale float64
+	}{{1, 1}, {64, 1}, {8, 0}, {8, -2}, {8, math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFormat(%d, %v) did not panic", c.bits, c.scale)
+				}
+			}()
+			NewFormat(c.bits, c.scale)
+		}()
+	}
+}
+
+func TestQuickFormatWrapIdempotent(t *testing.T) {
+	f := NewFormat(19, 2.5)
+	prop := func(raw int64) bool {
+		w := f.Wrap(raw)
+		return f.Wrap(w) == w && w >= f.MinRaw() && w <= f.MaxRaw()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcc128AddCarry(t *testing.T) {
+	// Force a carry out of the low word.
+	a := Acc128{Hi: 0, Lo: math.MaxUint64}
+	b := a.AddInt64(1)
+	if b.Hi != 1 || b.Lo != 0 {
+		t.Errorf("carry: got %+v", b)
+	}
+	// And a borrow.
+	c := Acc128{Hi: 1, Lo: 0}.AddInt64(-1)
+	if c.Hi != 0 || c.Lo != math.MaxUint64 {
+		t.Errorf("borrow: got %+v", c)
+	}
+}
+
+func TestAcc128NegRoundTrip(t *testing.T) {
+	f := func(hi int64, lo uint64) bool {
+		a := Acc128{Hi: hi, Lo: lo}
+		return a.Neg().Neg() == a && a.Add(a.Neg()).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcc128OrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	var fwd, rev Acc128
+	for _, v := range vals {
+		fwd = fwd.AddInt64(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		rev = rev.AddInt64(vals[i])
+	}
+	if fwd != rev {
+		t.Errorf("Acc128 order dependence: %+v vs %+v", fwd, rev)
+	}
+}
+
+func TestAcc128Cmp(t *testing.T) {
+	zero := Acc128{}
+	one := Acc128{}.AddInt64(1)
+	minus := Acc128{}.AddInt64(-1)
+	if zero.Cmp(one) != -1 || one.Cmp(zero) != 1 || zero.Cmp(zero) != 0 {
+		t.Error("Cmp small values wrong")
+	}
+	if minus.Cmp(zero) != -1 {
+		t.Errorf("Cmp(-1, 0) = %d, want -1 (minus=%+v)", minus.Cmp(zero), minus)
+	}
+}
+
+func TestAcc128Float(t *testing.T) {
+	a := Acc128{}.AddInt64(1 << 40)
+	if got := a.Float(); math.Abs(got-math.Exp2(40)) > 1 {
+		t.Errorf("Float: got %v", got)
+	}
+	n := Acc128{}.AddInt64(-(1 << 40))
+	if got := n.Float(); math.Abs(got+math.Exp2(40)) > 1 {
+		t.Errorf("Float negative: got %v", got)
+	}
+}

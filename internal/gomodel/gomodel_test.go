@@ -1,0 +1,143 @@
+package gomodel
+
+import (
+	"math"
+	"testing"
+
+	"anton/internal/analysis"
+	"anton/internal/system"
+	"anton/internal/vec"
+)
+
+// nativeFold builds a compact synthetic fold (the CA trace of a small
+// synthetic protein).
+func nativeFold(t *testing.T, nRes int) []vec.V3 {
+	t.Helper()
+	// Use the protein builder's CA positions: build a protein topology and
+	// pull out the CA atoms (template index 2 of each residue).
+	s, err := system.Build(system.Spec{
+		Name: "fold", TotalAtoms: nRes*system.AtomsPerResidue + 150, Side: 80,
+		Cutoff: 10, Mesh: 32, ProteinAtoms: nRes * system.AtomsPerResidue, Model: 0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var cas []vec.V3
+	for i := 0; i < nRes; i++ {
+		cas = append(cas, s.R[i*system.AtomsPerResidue+2])
+	}
+	return cas
+}
+
+func TestModelConstruction(t *testing.T) {
+	native := nativeFold(t, 27)
+	m, err := New(native, 8.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Contacts) < 10 {
+		t.Errorf("too few native contacts: %d", len(m.Contacts))
+	}
+	if _, err := New(native[:2], 8); err == nil {
+		t.Error("2-bead model accepted")
+	}
+	if _, err := New(native, 0.1); err == nil {
+		t.Error("contactless model accepted")
+	}
+}
+
+func TestForcesAreGradient(t *testing.T) {
+	native := nativeFold(t, 12)
+	m, err := New(native, 8.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := append([]vec.V3(nil), native...)
+	// Perturb slightly off the native minimum.
+	for i := range r {
+		r[i] = r[i].Add(vec.V3{X: 0.1 * float64(i%3), Y: -0.05, Z: 0.07})
+	}
+	f := make([]vec.V3, len(r))
+	m.Forces(r, f)
+	const h = 1e-6
+	scratch := make([]vec.V3, len(r))
+	for _, a := range []int{0, 5, 11} {
+		for c := 0; c < 3; c++ {
+			rp := append([]vec.V3(nil), r...)
+			rm := append([]vec.V3(nil), r...)
+			rp[a] = rp[a].SetComp(c, rp[a].Comp(c)+h)
+			rm[a] = rm[a].SetComp(c, rm[a].Comp(c)-h)
+			want := -(m.Forces(rp, scratch) - m.Forces(rm, scratch)) / (2 * h)
+			if math.Abs(f[a].Comp(c)-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("bead %d comp %d: force %g vs numerical %g", a, c, f[a].Comp(c), want)
+			}
+		}
+	}
+}
+
+func TestNativeIsMinimum(t *testing.T) {
+	native := nativeFold(t, 20)
+	m, _ := New(native, 8.0)
+	f := make([]vec.V3, len(native))
+	e0 := m.Forces(native, f)
+	// Random perturbations raise the energy.
+	for trial := 0; trial < 5; trial++ {
+		r := append([]vec.V3(nil), native...)
+		for i := range r {
+			r[i] = r[i].Add(vec.V3{
+				X: 0.4 * math.Sin(float64(i*trial+1)),
+				Y: 0.4 * math.Cos(float64(2*i+trial)),
+				Z: 0.3 * math.Sin(float64(3*i-trial)),
+			})
+		}
+		if e := m.Forces(r, f); e <= e0 {
+			t.Errorf("trial %d: perturbed energy %g not above native %g", trial, e, e0)
+		}
+	}
+}
+
+func TestColdStaysFoldedHotUnfolds(t *testing.T) {
+	native := nativeFold(t, 24)
+	m, err := New(native, 8.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSim(m, 150, 1)
+	cold.Step(4000)
+	if q := cold.Q(); q < 0.7 {
+		t.Errorf("cold run unfolded: Q=%.2f", q)
+	}
+	hot := NewSim(m, 1200, 2)
+	hot.Step(4000)
+	if q := hot.Q(); q > 0.55 {
+		t.Errorf("hot run stayed folded: Q=%.2f", q)
+	}
+}
+
+func TestFoldingTraceShowsTransitions(t *testing.T) {
+	// Figure 7's phenomenology: at a temperature balancing the folded and
+	// unfolded basins, the Q(t) trace crosses between them repeatedly.
+	if testing.Short() {
+		t.Skip("long folding trace")
+	}
+	native := nativeFold(t, 18)
+	m, err := New(native, 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan a small temperature range to find the melting regime, as the
+	// paper chose a temperature that "equally favors the folded and
+	// unfolded states" experimentally.
+	best := 0
+	for _, T := range []float64{440, 480, 520} {
+		sim := NewSim(m, T, 7)
+		q := sim.FoldingTrace(150000, 400)
+		n := analysis.TransitionCount(q, 0.72, 0.35)
+		if n > best {
+			best = n
+		}
+	}
+	if best < 2 {
+		t.Errorf("no folding/unfolding transitions observed (best %d)", best)
+	}
+}

@@ -1,0 +1,284 @@
+package htis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anton/internal/ewald"
+	"anton/internal/ff"
+	"anton/internal/fixp"
+	"anton/internal/vec"
+)
+
+func TestMatchUnitNeverDropsTruePairs(t *testing.T) {
+	// The conservative low-precision check must never reject a pair that
+	// the full-precision cutoff would accept.
+	boxL := 64.0
+	cutoff := 13.0
+	mu := NewMatchUnit(boxL, cutoff, 8)
+	rng := rand.New(rand.NewSource(61))
+	accepted, rejected := 0, 0
+	for i := 0; i < 200000; i++ {
+		// Sample displacements clustered near the cutoff shell.
+		d := vec.V3{
+			X: (rng.Float64()*2 - 1) * 0.4,
+			Y: (rng.Float64()*2 - 1) * 0.4,
+			Z: (rng.Float64()*2 - 1) * 0.4,
+		}
+		fd := fixp.Vec3FromFloat(d)
+		exact := fd.Dot(fd).Float() * boxL * boxL
+		may := mu.MayInteract(fd)
+		if exact <= cutoff*cutoff && !may {
+			t.Fatalf("false negative: |d|=%g Å rejected", math.Sqrt(exact))
+		}
+		if may {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("match unit never rejects anything — not filtering at all")
+	}
+}
+
+func TestMatchUnitFalsePositiveRateBounded(t *testing.T) {
+	// With 8-bit checks the margin is 1/256 of the box; false positives
+	// should be a thin shell around the cutoff.
+	boxL := 64.0
+	cutoff := 13.0
+	mu := NewMatchUnit(boxL, cutoff, 8)
+	rng := rand.New(rand.NewSource(67))
+	falsePos, trueNeg := 0, 0
+	for i := 0; i < 200000; i++ {
+		d := vec.V3{
+			X: (rng.Float64()*2 - 1) * 0.45,
+			Y: (rng.Float64()*2 - 1) * 0.45,
+			Z: (rng.Float64()*2 - 1) * 0.45,
+		}
+		fd := fixp.Vec3FromFloat(d)
+		exact := fd.Dot(fd).Float() * boxL * boxL
+		if exact <= cutoff*cutoff {
+			continue
+		}
+		if mu.MayInteract(fd) {
+			falsePos++
+		} else {
+			trueNeg++
+		}
+	}
+	rate := float64(falsePos) / float64(falsePos+trueNeg)
+	if rate > 0.15 {
+		t.Errorf("false positive rate %g too high", rate)
+	}
+}
+
+func newTestPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	split := ewald.Split{Sigma: ewald.SigmaForCutoff(13, 1e-6), Cutoff: 13}
+	p, err := NewPipeline(64, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPairForceMatchesAnalytic(t *testing.T) {
+	p := newTestPipeline(t)
+	params := PairParams{QQ: ff.CoulombK * 0.4 * -0.4, Sigma: 3.15, Epsilon: 0.15}
+	rng := rand.New(rand.NewSource(71))
+	var rmsForce, maxErr float64
+	n := 0
+	for i := 0; i < 3000; i++ {
+		r := 2.6 + rng.Float64()*10 // inside cutoff, outside core
+		dir := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Unit()
+		d := dir.Scale(r / 64) // box fractions
+		fd := fixp.Vec3FromFloat(d)
+		res := p.PairForce(fd, params)
+		if !res.Within {
+			continue
+		}
+		// Analytic force.
+		df := fd.Float().Scale(64)
+		r2 := df.Norm2()
+		_, fsE := p.Split.RealSpacePair(r2, 0.4, -0.4)
+		_, fsL := ff.LJ126(r2, params.Sigma, params.Epsilon)
+		want := df.Scale(fsE + fsL)
+		got := vec.V3{X: ForceValue(res.FX), Y: ForceValue(res.FY), Z: ForceValue(res.FZ)}
+		if e := got.Sub(want).Norm() / math.Max(want.Norm(), 1); e > maxErr {
+			maxErr = e
+		}
+		rmsForce += want.Norm2()
+		n++
+	}
+	rmsForce = math.Sqrt(rmsForce / float64(n))
+	// The paper's numerical force error is ~1e-5 of the rms force
+	// system-wide; per-pair errors relative to the pair's own magnitude
+	// (floored at 1 kcal/mol/Å) must stay below 1e-3.
+	if maxErr > 1e-3 {
+		t.Errorf("pipeline relative force error %g (rms force %g)", maxErr, rmsForce)
+	}
+}
+
+func TestPairForceCutoff(t *testing.T) {
+	p := newTestPipeline(t)
+	params := PairParams{QQ: 100}
+	// Outside the cutoff: no interaction.
+	d := fixp.Vec3FromFloat(vec.V3{X: 14.0 / 64})
+	if res := p.PairForce(d, params); res.Within {
+		t.Error("pair beyond cutoff interacted")
+	}
+	// Inside: interacts.
+	d = fixp.Vec3FromFloat(vec.V3{X: 5.0 / 64})
+	if res := p.PairForce(d, params); !res.Within {
+		t.Error("pair inside cutoff ignored")
+	}
+	// Coincident points do not blow up.
+	if res := p.PairForce(fixp.Vec3{}, params); res.Within {
+		t.Error("coincident pair interacted")
+	}
+}
+
+func TestPairForceDeterministicAndAntisymmetric(t *testing.T) {
+	p := newTestPipeline(t)
+	params := PairParams{QQ: -30, Sigma: 3.0, Epsilon: 0.2}
+	d := fixp.Vec3FromFloat(vec.V3{X: 4.0 / 64, Y: -2.5 / 64, Z: 1.0 / 64})
+	a := p.PairForce(d, params)
+	b := p.PairForce(d, params)
+	if a != b {
+		t.Error("pipeline not deterministic")
+	}
+	// Swapping the pair (negating d) must exactly negate the force: the
+	// equal-and-opposite property the NT method relies on.
+	n := p.PairForce(d.Neg(), params)
+	if n.FX != -a.FX || n.FY != -a.FY || n.FZ != -a.FZ {
+		t.Errorf("force not antisymmetric: %+v vs %+v", a, n)
+	}
+}
+
+func TestQuantizeForceSymmetry(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -1.5, 0.123456, 1e-9, 1e4} {
+		if QuantizeForce(-f) != -QuantizeForce(f) {
+			t.Errorf("quantization asymmetric at %g", f)
+		}
+	}
+	// Round trip within half a quantum.
+	for _, f := range []float64{0.25, -17.3, 1234.5678} {
+		if math.Abs(ForceValue(QuantizeForce(f))-f) > ForceQuantum/2 {
+			t.Errorf("round trip error at %g", f)
+		}
+	}
+}
+
+func TestVirialMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	var a, b, ab Virial
+	for i := 0; i < 100; i++ {
+		fx, fy, fz := rng.Int63n(1000)-500, rng.Int63n(1000)-500, rng.Int63n(1000)-500
+		dx, dy, dz := rng.Int63n(1000)-500, rng.Int63n(1000)-500, rng.Int63n(1000)-500
+		if i%2 == 0 {
+			a.Add(fx, fy, fz, dx, dy, dz)
+		} else {
+			b.Add(fx, fy, fz, dx, dy, dz)
+		}
+		ab.Add(fx, fy, fz, dx, dy, dz)
+	}
+	a.Merge(&b)
+	if a != ab {
+		t.Error("virial merge differs from direct accumulation")
+	}
+}
+
+func TestThroughputModel(t *testing.T) {
+	h := DefaultHardware
+	// High match efficiency: PPIP-limited, near-full utilization.
+	tp := h.Throughput(1e6, 0.4e6)
+	if tp.MatchLimited {
+		t.Error("40% ME should be PPIP-limited (8 match units deliver 3.2 pairs/cycle/PPIP)")
+	}
+	if tp.Utilization < 0.99 {
+		t.Errorf("utilization %g, want ~1", tp.Utilization)
+	}
+	// Low match efficiency: match-limited, PPIPs starve.
+	tp = h.Throughput(1e6, 0.04e6)
+	if !tp.MatchLimited {
+		t.Error("4% ME should be match-limited")
+	}
+	if tp.Utilization > 0.5 {
+		t.Errorf("starved utilization %g should be low", tp.Utilization)
+	}
+}
+
+func TestMinMatchEfficiency(t *testing.T) {
+	// 8 match units per PPIP at half the PPIP clock: ME must exceed 2/8.
+	if got := DefaultHardware.MinMatchEfficiency(); got != 0.25 {
+		t.Errorf("min ME: got %g, want 0.25", got)
+	}
+	// Table 3's box sizes with one subbox at 512-node scale (16 Å boxes,
+	// ME 12%) fall below this threshold — exactly why Anton subdivides.
+	if 0.12 >= DefaultHardware.MinMatchEfficiency() {
+		t.Error("16-Å single-subbox ME should be below the full-utilization threshold")
+	}
+}
+
+func TestThroughputScalesWithWork(t *testing.T) {
+	h := DefaultHardware
+	t1 := h.Throughput(1e6, 0.3e6)
+	t2 := h.Throughput(2e6, 0.6e6)
+	if math.Abs(t2.Seconds-2*t1.Seconds) > 1e-12 {
+		t.Errorf("throughput not linear in work: %g vs %g", t2.Seconds, 2*t1.Seconds)
+	}
+}
+
+func TestQueueSimFullUtilizationAboveBreakEven(t *testing.T) {
+	// Paper §3.2.1: with at least one passing pair per PPIP cycle (two
+	// per base cycle here), the PPIP approaches full utilization.
+	q := DefaultQueueSim()
+	if q.BreakEvenEfficiency() != 0.25 {
+		t.Fatalf("break-even: %g", q.BreakEvenEfficiency())
+	}
+	rng := rand.New(rand.NewSource(11))
+	res := q.Run(200000, 0.40, rng) // Table 3's subboxed regime
+	if res.Utilization < 0.97 {
+		t.Errorf("utilization %.3f at ME=0.40, want ~1", res.Utilization)
+	}
+}
+
+func TestQueueSimStarvesBelowBreakEven(t *testing.T) {
+	q := DefaultQueueSim()
+	rng := rand.New(rand.NewSource(13))
+	res := q.Run(200000, 0.12, rng) // the 16-Å one-subbox regime
+	// Utilization approaches ME/break-even = 0.48.
+	if res.Utilization > 0.55 || res.Utilization < 0.40 {
+		t.Errorf("starved utilization %.3f, want ~0.48", res.Utilization)
+	}
+}
+
+func TestQueueSimMatchesAnalyticThroughput(t *testing.T) {
+	// The discrete queue simulation and the analytic Throughput model
+	// must agree on utilization across the match-efficiency range.
+	q := DefaultQueueSim()
+	h := DefaultHardware
+	rng := rand.New(rand.NewSource(17))
+	for _, me := range []float64{0.05, 0.15, 0.25, 0.40, 0.60} {
+		sim := q.Run(300000, me, rng)
+		tp := h.Throughput(300000, me*300000)
+		if math.Abs(sim.Utilization-tp.Utilization) > 0.08 {
+			t.Errorf("ME=%.2f: simulated %.3f vs analytic %.3f", me, sim.Utilization, tp.Utilization)
+		}
+	}
+}
+
+func TestQueueSimConservation(t *testing.T) {
+	q := DefaultQueueSim()
+	rng := rand.New(rand.NewSource(19))
+	res := q.Run(50000, 0.3, rng)
+	// Everything enqueued is eventually retired.
+	if res.Retired < int(0.25*50000) || res.Retired > int(0.36*50000) {
+		t.Errorf("retired %d of 50000 at ME 0.3", res.Retired)
+	}
+	if res.MaxQueue > q.QueueDepth {
+		t.Errorf("queue exceeded capacity: %d > %d", res.MaxQueue, q.QueueDepth)
+	}
+}

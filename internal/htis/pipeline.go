@@ -1,0 +1,164 @@
+package htis
+
+import (
+	"math"
+
+	"anton/internal/ewald"
+	"anton/internal/ff"
+	"anton/internal/fixp"
+	"anton/internal/ppip"
+)
+
+// ForceQuantum is the fixed-point force resolution: forces are exchanged
+// and accumulated as integer multiples of this many kcal/mol/Å. The
+// wrapping integer accumulation is what makes Anton's force sums
+// associative and therefore order- and parallelism-invariant.
+const ForceQuantum = 1.0 / (1 << 18)
+
+// QuantizeForce converts a physical force component to integer force
+// counts with round-to-nearest/even (the symmetric rounding required for
+// reversibility).
+func QuantizeForce(f float64) int64 {
+	return int64(math.RoundToEven(f / ForceQuantum))
+}
+
+// ForceValue converts integer force counts back to kcal/mol/Å.
+func ForceValue(c int64) float64 { return float64(c) * ForceQuantum }
+
+// Pipeline is the functional model of one PPIP configured for MD: it
+// computes the range-limited (screened electrostatic + Lennard-Jones)
+// interaction of an atom pair as a deterministic function of the pair's
+// fixed-point displacement and its parameters. Both kernels are evaluated
+// through the quantized piecewise-cubic tables, so the pipeline's output
+// carries exactly the "numerical force error" the paper characterizes
+// (Table 4, last column).
+type Pipeline struct {
+	BoxL    float64 // cubic box edge, Å
+	Cutoff  float64 // range-limited cutoff R, Å
+	Split   ewald.Split
+	Elec    *ppip.Table // erfc force kernel of x=(r/R)^2
+	LJ12    *ppip.Table // x^-7 kernel
+	LJ6     *ppip.Table // x^-4 kernel
+	ElecE   *ppip.Table // erfc energy kernel (diagnostics)
+	MinDist float64     // clamp radius used when building the tables
+}
+
+// NewPipeline builds the PPIP tables for the given box, cutoff and Ewald
+// split, using the paper's tiered indexing scheme and 22-bit mantissas.
+func NewPipeline(boxL float64, split ewald.Split) (*Pipeline, error) {
+	const rmin = 0.9 // Å; shortest distance tables must represent
+	p := &Pipeline{BoxL: boxL, Cutoff: split.Cutoff, Split: split, MinDist: rmin}
+	var err error
+	if p.Elec, err = ppip.Build(ppip.ErfcForceFunc(split.Sigma, split.Cutoff, rmin), ppip.PaperScheme, 22); err != nil {
+		return nil, err
+	}
+	if p.LJ12, err = ppip.Build(ppip.LJ12ForceFunc(split.Cutoff, 1.1), ppip.PaperScheme, 22); err != nil {
+		return nil, err
+	}
+	if p.LJ6, err = ppip.Build(ppip.LJ6ForceFunc(split.Cutoff, 1.1), ppip.PaperScheme, 22); err != nil {
+		return nil, err
+	}
+	if p.ElecE, err = ppip.Build(ppip.ErfcEnergyFunc(split.Sigma, split.Cutoff, rmin), ppip.PaperScheme, 22); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PairParams carries the per-pair interaction parameters a PPIP receives
+// alongside the positions.
+type PairParams struct {
+	QQ      float64 // k_C * qi * qj (kcal*Å/mol)
+	Sigma   float64 // combined LJ sigma (Å); 0 disables LJ
+	Epsilon float64 // combined LJ epsilon (kcal/mol)
+}
+
+// PairResult is the quantized output of one pair interaction.
+type PairResult struct {
+	FX, FY, FZ int64   // force counts on atom i (negate for atom j)
+	Energy     float64 // pair energy, kcal/mol (diagnostic path)
+	Within     bool    // pair was inside the cutoff
+}
+
+// PairForce evaluates the range-limited interaction for the pair whose
+// fixed-point minimum-image displacement is d = r_i - r_j (box
+// fractions). The result depends only on (d, params) — not on which node
+// evaluates it — which together with wrapping force accumulation yields
+// Anton's parallel invariance.
+func (p *Pipeline) PairForce(d fixp.Vec3, params PairParams) PairResult {
+	// r^2 in box fractions, computed exactly in fixed point.
+	r2frac := d.Dot(d).Float()
+	r2 := r2frac * p.BoxL * p.BoxL
+	rc2 := p.Cutoff * p.Cutoff
+	if r2 > rc2 || r2 == 0 {
+		return PairResult{}
+	}
+	x := r2 / rc2
+
+	fScale := params.QQ * p.Elec.Evaluate(x)
+	// Potential-shifted energies (V(r) - V(rc)): the truncated force
+	// field's true potential, so energy drift reflects the integrator.
+	energy := params.QQ * (p.ElecE.Evaluate(x) - math.Erfc(p.Cutoff/(math.Sqrt2*p.Split.Sigma))/p.Cutoff)
+	if params.Epsilon != 0 {
+		t12 := p.LJ12.Evaluate(x)
+		t6 := p.LJ6.Evaluate(x)
+		fScale += ppip.CombineLJ(t12, t6, params.Sigma, params.Epsilon, p.Cutoff)
+		// LJ energy from the same tabulated kernels:
+		// V = 4*eps*(sigma^12/R^12 * x^-6 - sigma^6/R^6 * x^-3)
+		//   = 4*eps*(sigma^12/R^12 * t12*x - sigma^6/R^6 * t6*x),
+		// shifted by V(rc).
+		s6 := math.Pow(params.Sigma, 6)
+		r6 := math.Pow(p.Cutoff, 6)
+		energy += 4*params.Epsilon*(s6*s6/(r6*r6)*t12*x-s6/r6*t6*x) -
+			4*params.Epsilon*(s6*s6/(r6*r6)-s6/r6)
+	}
+
+	df := d.Float()
+	return PairResult{
+		FX:     QuantizeForce(fScale * df.X * p.BoxL),
+		FY:     QuantizeForce(fScale * df.Y * p.BoxL),
+		FZ:     QuantizeForce(fScale * df.Z * p.BoxL),
+		Energy: energy,
+		Within: true,
+	}
+}
+
+// PairParamsFor builds PairParams from two atoms and the parameter set.
+func PairParamsFor(ps *ff.ParamSet, a, b ff.Atom) PairParams {
+	sigma, eps := ps.LJPair(a.LJType, b.LJType)
+	return PairParams{
+		QQ:      ff.CoulombK * a.Charge * b.Charge,
+		Sigma:   sigma,
+		Epsilon: eps,
+	}
+}
+
+// Virial accumulates the force-position tensor products used for
+// pressure-controlled simulations in wide 128-bit (modelling the
+// hardware's 86-bit) accumulators, preserving determinism and parallel
+// invariance (Figure 4c).
+type Virial struct {
+	XX, YY, ZZ fixp.Acc128
+	XY, XZ, YZ fixp.Acc128
+}
+
+// Add accumulates the outer product of a quantized force (counts) and a
+// displacement quantized to position counts.
+func (v *Virial) Add(fx, fy, fz int64, dx, dy, dz int64) {
+	v.XX = v.XX.AddInt64(fx * dx)
+	v.YY = v.YY.AddInt64(fy * dy)
+	v.ZZ = v.ZZ.AddInt64(fz * dz)
+	v.XY = v.XY.AddInt64(fx * dy)
+	v.XZ = v.XZ.AddInt64(fx * dz)
+	v.YZ = v.YZ.AddInt64(fy * dz)
+}
+
+// Merge adds another virial accumulator (node-local partials combine in
+// any order).
+func (v *Virial) Merge(o *Virial) {
+	v.XX = v.XX.Add(o.XX)
+	v.YY = v.YY.Add(o.YY)
+	v.ZZ = v.ZZ.Add(o.ZZ)
+	v.XY = v.XY.Add(o.XY)
+	v.XZ = v.XZ.Add(o.XZ)
+	v.YZ = v.YZ.Add(o.YZ)
+}

@@ -1,0 +1,85 @@
+package htis
+
+import (
+	"math/rand"
+)
+
+// This file simulates the match-unit -> concentrator -> PPIP input queue
+// datapath at cycle granularity (paper §3.2.1): each base-clock cycle, a
+// plate atom is tested against eight tower atoms by the eight match
+// units; pairs that pass move through the concentrator into the PPIP
+// input queue; the PPIP, clocked at twice the base rate, retires up to
+// two interactions per base cycle. The paper's claim — "as long as the
+// average number of such pairs per cycle per PPIP is at least one, the
+// PPIPs will approach full utilization" — is reproduced by this
+// simulation and exercised in the tests.
+
+// QueueSim is a discrete simulation of one PPIP's front end.
+type QueueSim struct {
+	MatchUnits   int // candidates examined per base cycle (8)
+	RetirePerCyc int // interactions the PPIP retires per base cycle (2)
+	QueueDepth   int // input queue capacity; the match stage stalls when full
+}
+
+// DefaultQueueSim mirrors the production configuration.
+func DefaultQueueSim() QueueSim {
+	return QueueSim{MatchUnits: 8, RetirePerCyc: 2, QueueDepth: 16}
+}
+
+// Result summarizes a simulated batch.
+type Result struct {
+	Cycles      int     // base cycles to drain the batch
+	Retired     int     // interactions computed
+	Utilization float64 // retired / (RetirePerCyc * cycles)
+	Stalls      int     // cycles the match stage stalled on a full queue
+	MaxQueue    int     // high-water mark of the input queue
+}
+
+// Run simulates processing `candidates` pair candidates of which a
+// fraction matchEff are real interactions, with Bernoulli arrivals (the
+// spatially random structure of liquid systems). The rng seeds the
+// arrival pattern; results are deterministic given the seed.
+func (q QueueSim) Run(candidates int, matchEff float64, rng *rand.Rand) Result {
+	var res Result
+	queue := 0
+	examined := 0
+	for examined < candidates || queue > 0 {
+		// Match stage: examine up to MatchUnits candidates unless the
+		// queue could overflow.
+		if examined < candidates {
+			if queue+q.MatchUnits <= q.QueueDepth {
+				for u := 0; u < q.MatchUnits && examined < candidates; u++ {
+					examined++
+					if rng.Float64() < matchEff {
+						queue++
+					}
+				}
+			} else {
+				res.Stalls++
+			}
+		}
+		if queue > res.MaxQueue {
+			res.MaxQueue = queue
+		}
+		// PPIP stage: retire.
+		retire := q.RetirePerCyc
+		if retire > queue {
+			retire = queue
+		}
+		queue -= retire
+		res.Retired += retire
+		res.Cycles++
+	}
+	if res.Cycles > 0 {
+		res.Utilization = float64(res.Retired) / float64(q.RetirePerCyc*res.Cycles)
+	}
+	return res
+}
+
+// BreakEvenEfficiency returns the match efficiency at which the match
+// units deliver exactly the PPIP's retire rate: RetirePerCyc/MatchUnits
+// (0.25 for the production 8-and-2 configuration — the threshold Table 3
+// is engineered around).
+func (q QueueSim) BreakEvenEfficiency() float64 {
+	return float64(q.RetirePerCyc) / float64(q.MatchUnits)
+}

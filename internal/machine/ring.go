@@ -1,0 +1,154 @@
+package machine
+
+import "fmt"
+
+// The Anton ASIC's computational units — the HTIS, the flexible
+// subsystem's cores and DMA engines, the DRAM controllers, the channel
+// interfaces and the host interface — "are connected by a bidirectional
+// on-chip communication ring" (paper §2.2). This file models that ring:
+// fixed stations in a cycle, transfers routed the shorter way around,
+// per-segment occupancy accounting, and a bandwidth/latency estimate for
+// a phase of intra-node data choreography (§3.2: "intra-node data
+// transfers between these subunits are carefully choreographed").
+
+// RingStation identifies a unit on the on-chip ring.
+type RingStation int
+
+// The ring stations of one ASIC.
+const (
+	StationHTIS RingStation = iota
+	StationGC0to3
+	StationGC4to7
+	StationCorrection
+	StationDMA
+	StationDRAM0
+	StationDRAM1
+	StationChannels
+	StationHost
+	NumStations
+)
+
+// String implements fmt.Stringer.
+func (s RingStation) String() string {
+	return [...]string{
+		"HTIS", "GC0-3", "GC4-7", "correction", "DMA",
+		"DRAM0", "DRAM1", "channels", "host",
+	}[s]
+}
+
+// Ring models the bidirectional on-chip ring.
+type Ring struct {
+	// BytesPerCycle is the per-direction payload a ring segment moves per
+	// base clock cycle.
+	BytesPerCycle int
+	// HopCycles is the per-station forwarding latency.
+	HopCycles int
+
+	// segment load, clockwise and counter-clockwise.
+	cw        [NumStations]int64
+	ccw       [NumStations]int64
+	transfers int64
+	maxHops   int
+}
+
+// NewRing builds a ring with production-plausible parameters (a 32-byte
+// wide ring at the 485-MHz base clock).
+func NewRing() *Ring {
+	return &Ring{BytesPerCycle: 32, HopCycles: 1}
+}
+
+// Transfer moves payloadBytes from src to dst along the shorter ring
+// direction, accumulating load on each traversed segment.
+func (r *Ring) Transfer(src, dst RingStation, payloadBytes int) error {
+	if src < 0 || src >= NumStations || dst < 0 || dst >= NumStations {
+		return fmt.Errorf("machine: invalid ring station %d -> %d", src, dst)
+	}
+	if src == dst {
+		return nil
+	}
+	n := int(NumStations)
+	fwd := (int(dst) - int(src) + n) % n
+	hops := fwd
+	clockwise := true
+	if n-fwd < fwd {
+		hops = n - fwd
+		clockwise = false
+	}
+	for h := 0; h < hops; h++ {
+		var seg int
+		if clockwise {
+			seg = (int(src) + h) % n
+			r.cw[seg] += int64(payloadBytes)
+		} else {
+			seg = (int(src) - h - 1 + n) % n
+			r.ccw[seg] += int64(payloadBytes)
+		}
+	}
+	r.transfers++
+	if hops > r.maxHops {
+		r.maxHops = hops
+	}
+	return nil
+}
+
+// RingStats summarizes accumulated ring traffic.
+type RingStats struct {
+	Transfers      int64
+	BusiestSegment int64 // bytes on the most loaded directed segment
+	MaxHops        int
+	PhaseCycles    float64 // estimated cycles to drain the phase
+}
+
+// Collect computes the phase statistics.
+func (r *Ring) Collect() RingStats {
+	var s RingStats
+	s.Transfers = r.transfers
+	s.MaxHops = r.maxHops
+	for i := 0; i < int(NumStations); i++ {
+		if r.cw[i] > s.BusiestSegment {
+			s.BusiestSegment = r.cw[i]
+		}
+		if r.ccw[i] > s.BusiestSegment {
+			s.BusiestSegment = r.ccw[i]
+		}
+	}
+	s.PhaseCycles = float64(s.BusiestSegment)/float64(r.BytesPerCycle) +
+		float64(s.MaxHops*r.HopCycles)
+	return s
+}
+
+// Reset clears accumulated traffic.
+func (r *Ring) Reset() {
+	r.cw = [NumStations]int64{}
+	r.ccw = [NumStations]int64{}
+	r.transfers = 0
+	r.maxHops = 0
+}
+
+// StepChoreography models one MD time step's canonical intra-node flows
+// (§3.2): positions from DRAM/DMA to the HTIS and GCs, computed forces
+// back, mesh charges to the channel interfaces for the FFT, and
+// integration traffic — returning the phase estimate. atomBytes is the
+// per-atom position/force payload; atoms is the node's resident count;
+// imported is the import-region atom count.
+func (r *Ring) StepChoreography(atoms, imported, meshPoints, atomBytes int) RingStats {
+	r.Reset()
+	// Position distribution: resident atoms from DRAM to HTIS and GCs;
+	// imported atoms arrive via the channels and fan out to the HTIS.
+	r.Transfer(StationDRAM0, StationHTIS, atoms*atomBytes)
+	r.Transfer(StationDRAM0, StationGC0to3, atoms*atomBytes/2)
+	r.Transfer(StationDRAM1, StationGC4to7, atoms*atomBytes/2)
+	r.Transfer(StationChannels, StationHTIS, imported*atomBytes)
+	r.Transfer(StationDRAM0, StationCorrection, atoms*atomBytes/4)
+	// Forces return.
+	r.Transfer(StationHTIS, StationDRAM0, (atoms+imported)*atomBytes)
+	r.Transfer(StationGC0to3, StationDRAM0, atoms*atomBytes/2)
+	r.Transfer(StationGC4to7, StationDRAM1, atoms*atomBytes/2)
+	r.Transfer(StationCorrection, StationDRAM0, atoms*atomBytes/4)
+	// Mesh exchange with the network.
+	r.Transfer(StationHTIS, StationChannels, meshPoints*8)
+	r.Transfer(StationChannels, StationHTIS, meshPoints*8)
+	// Exported forces to the network.
+	r.Transfer(StationDMA, StationChannels, imported*atomBytes)
+	return r.Collect()
+}

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"anton/internal/system"
+)
+
+func TestWorkloadDerivedQuantities(t *testing.T) {
+	spec, _ := system.SpecFor("DHFR")
+	w := WorkloadFromSpec(spec)
+	// Density near liquid water's atom density.
+	if rho := w.Density(); rho < 0.08 || rho > 0.12 {
+		t.Errorf("density %g outside the aqueous range", rho)
+	}
+	// Pairs per atom at the 13-Å cutoff: (2pi/3)*rho*R^3 ~ 450.
+	if ppa := w.PairsPerAtom(); math.Abs(ppa-450) > 80 {
+		t.Errorf("pairs per atom %g, expected ~450", ppa)
+	}
+	// Mesh points per atom for the coarse mesh.
+	if mpa := w.MeshPointsPerAtom(); mpa < 200 || mpa > 800 {
+		t.Errorf("mesh points per atom %g implausible", mpa)
+	}
+}
+
+func TestWorkloadChargedAtomCounts(t *testing.T) {
+	// TIP3P: all sites charged. TIP4P-Ew: 3 of 4 per water (O neutral).
+	tip3, _ := system.SpecFor("DHFR")
+	w3 := WorkloadFromSpec(tip3)
+	if w3.ChargedAtoms != tip3.TotalAtoms {
+		t.Errorf("TIP3P charged %d of %d", w3.ChargedAtoms, tip3.TotalAtoms)
+	}
+	tip4, _ := system.SpecFor("BPTI")
+	w4 := WorkloadFromSpec(tip4)
+	if w4.ChargedAtoms >= tip4.TotalAtoms {
+		t.Errorf("TIP4P-Ew should have uncharged oxygens: %d of %d", w4.ChargedAtoms, tip4.TotalAtoms)
+	}
+	// 4215 neutral oxygens.
+	want := tip4.TotalAtoms - 4215
+	if math.Abs(float64(w4.ChargedAtoms-want)) > 50 {
+		t.Errorf("BPTI charged count %d, want ~%d", w4.ChargedAtoms, want)
+	}
+}
+
+func TestModelSubboxSelection(t *testing.T) {
+	// At 512-node DHFR scale (7.8-Å boxes) one subbox suffices (ME ~25%);
+	// larger boxes need subdivision to keep the PPIPs fed.
+	m512, _ := New(512)
+	spec, _ := system.SpecFor("DHFR")
+	p := DefaultModel.Estimate(m512, WorkloadFromSpec(spec))
+	if p.Subdiv < 1 || p.Subdiv > 4 {
+		t.Errorf("subdiv %d out of range", p.Subdiv)
+	}
+	m64, _ := New(64)
+	p64 := DefaultModel.Estimate(m64, WorkloadFromSpec(spec))
+	// 15.5-Å boxes: must subdivide more (or equal) vs 7.8-Å boxes.
+	if p64.Subdiv < p.Subdiv {
+		t.Errorf("bigger boxes chose fewer subboxes: %d vs %d", p64.Subdiv, p.Subdiv)
+	}
+	if p.MatchEfficiency <= 0 || p.MatchEfficiency >= 1 {
+		t.Errorf("ME estimate %g out of (0,1)", p.MatchEfficiency)
+	}
+}

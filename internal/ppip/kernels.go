@@ -1,0 +1,87 @@
+package ppip
+
+import (
+	"math"
+)
+
+// The PPIP evaluates interactions as functions of the squared distance,
+// indexed by x = (r/R)^2 (avoiding a square root — paper section 4, citing
+// reference [2]). Physical kernels diverge as r -> 0, so each builder
+// clamps the function below rmin; real systems never sample that region
+// (excluded bonded pairs are handled by the correction pipeline and
+// nonbonded contacts are kept apart by LJ repulsion).
+
+// clampedX returns max(x, (rmin/R)^2).
+func clampedX(x, rmin, rcut float64) float64 {
+	xmin := (rmin / rcut) * (rmin / rcut)
+	if x < xmin {
+		return xmin
+	}
+	return x
+}
+
+// ErfcForceFunc returns the Ewald real-space force kernel as a function of
+// x = (r/R)^2: fscale(x) such that F = k_C*qi*qj*fscale * (r_i - r_j),
+// with fscale = (erfc(a)/r + sqrt(2/pi)/sigma * exp(-a^2)) / r^2 and
+// a = r/(sqrt2*sigma). The Coulomb constant and charges are applied by
+// the pipeline's parameter multipliers, not the table.
+func ErfcForceFunc(sigma, rcut, rmin float64) func(float64) float64 {
+	return func(x float64) float64 {
+		x = clampedX(x, rmin, rcut)
+		r := rcut * math.Sqrt(x)
+		a := r / (math.Sqrt2 * sigma)
+		return (math.Erfc(a)/r + math.Sqrt(2/math.Pi)/sigma*math.Exp(-a*a)) / (r * r)
+	}
+}
+
+// ErfcEnergyFunc returns the real-space energy kernel erfc(a)/r as a
+// function of x.
+func ErfcEnergyFunc(sigma, rcut, rmin float64) func(float64) float64 {
+	return func(x float64) float64 {
+		x = clampedX(x, rmin, rcut)
+		r := rcut * math.Sqrt(x)
+		return math.Erfc(r/(math.Sqrt2*sigma)) / r
+	}
+}
+
+// LJ12ForceFunc returns the repulsive LJ force kernel u^-7 (with
+// u = (r/R)^2), so that the pipeline combines
+// fscale_LJ = 24*eps*(2*sigma^12/R^14 * t12(x) - sigma^6/R^8 * t6(x)).
+func LJ12ForceFunc(rcut, rmin float64) func(float64) float64 {
+	return func(x float64) float64 {
+		x = clampedX(x, rmin, rcut)
+		return math.Pow(x, -7)
+	}
+}
+
+// LJ6ForceFunc returns the attractive LJ force kernel u^-4.
+func LJ6ForceFunc(rcut, rmin float64) func(float64) float64 {
+	return func(x float64) float64 {
+		x = clampedX(x, rmin, rcut)
+		return math.Pow(x, -4)
+	}
+}
+
+// GaussianSpreadFunc returns the GSE charge-spreading kernel as a function
+// of x = (d/R)^2 for atom-to-mesh-point distance d with spreading Gaussian
+// width sigma1: (2*pi*sigma1^2)^(-3/2) * exp(-d^2/(2*sigma1^2)). Being a
+// radially symmetric function of distance, it runs on the same table
+// hardware as the force kernels — the co-design insight behind GSE.
+func GaussianSpreadFunc(sigma1, rcut float64) func(float64) float64 {
+	s2 := sigma1 * sigma1
+	norm := math.Pow(2*math.Pi*s2, -1.5)
+	return func(x float64) float64 {
+		d2 := x * rcut * rcut
+		return norm * math.Exp(-d2/(2*s2))
+	}
+}
+
+// CombineLJ returns the full LJ force scale from the two tabulated kernels
+// at normalized x, for combined parameters sigma and epsilon:
+// fscale = 24*eps*(2*(sigma^12/R^14)*t12 - (sigma^6/R^8)*t6).
+func CombineLJ(t12, t6, sigma, eps, rcut float64) float64 {
+	s6 := math.Pow(sigma, 6)
+	r8 := math.Pow(rcut, 8)
+	r14 := r8 * math.Pow(rcut, 6)
+	return 24 * eps * (2*s6*s6/r14*t12 - s6/r8*t6)
+}

@@ -1,0 +1,243 @@
+package ppip
+
+import (
+	"fmt"
+	"math"
+
+	"anton/internal/fixp"
+)
+
+// Tier is one band of the tiered index scheme: Entries segments of equal
+// width covering [Start, End) of the normalized squared distance
+// x = (r/R)^2 in [0, 1). Narrower segments are allocated where the
+// function varies rapidly (small r).
+type Tier struct {
+	Start, End float64
+	Entries    int
+}
+
+// Scheme is a tiered segmentation of [0, 1).
+type Scheme []Tier
+
+// PaperScheme is the paper's example configuration: "64 entries for
+// (r/R)^2 in [0, 1/128), 96 entries for [1/128, 1/32), 56 entries for
+// [1/32, 1/4) and 24 entries for [1/4, 1)" — 240 segments total.
+var PaperScheme = Scheme{
+	{Start: 0, End: 1.0 / 128, Entries: 64},
+	{Start: 1.0 / 128, End: 1.0 / 32, Entries: 96},
+	{Start: 1.0 / 32, End: 1.0 / 4, Entries: 56},
+	{Start: 1.0 / 4, End: 1, Entries: 24},
+}
+
+// Validate checks that the tiers tile [0, 1) contiguously.
+func (s Scheme) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("ppip: empty scheme")
+	}
+	if s[0].Start != 0 {
+		return fmt.Errorf("ppip: scheme must start at 0, got %g", s[0].Start)
+	}
+	for i, t := range s {
+		if t.Entries <= 0 || t.End <= t.Start {
+			return fmt.Errorf("ppip: tier %d invalid: %+v", i, t)
+		}
+		if i > 0 && s[i-1].End != t.Start {
+			return fmt.Errorf("ppip: tier %d not contiguous: %g vs %g", i, s[i-1].End, t.Start)
+		}
+	}
+	if s[len(s)-1].End != 1 {
+		return fmt.Errorf("ppip: scheme must end at 1, got %g", s[len(s)-1].End)
+	}
+	return nil
+}
+
+// TotalEntries returns the number of table segments.
+func (s Scheme) TotalEntries() int {
+	n := 0
+	for _, t := range s {
+		n += t.Entries
+	}
+	return n
+}
+
+// Segment is one table entry: a cubic polynomial in the segment-local
+// coordinate t in [0, 1), stored block-floating-point — four mantissas
+// sharing a single exponent, as in the hardware.
+type Segment struct {
+	Lo, Hi   float64  // normalized x-range of the segment
+	Mantissa [4]int64 // c0..c3 mantissas, MantissaBits wide
+	Exp      int      // shared power-of-two exponent
+}
+
+// Table is a complete PPIP function table: f(x) for x = (r/R)^2 in [0,1).
+type Table struct {
+	Scheme       Scheme
+	Segments     []Segment
+	MantissaBits uint // 19-22 in the hardware (Figure 4a)
+	TBits        uint // fixed-point bits of the local coordinate t
+
+	// FloatCoeffs retains the continuous (pre-quantization) piecewise
+	// coefficients for error analysis.
+	FloatCoeffs [][4]float64
+}
+
+// Build fits the function f over [0,1) with per-segment minimax cubics,
+// adjusts the constant terms for continuity across segment boundaries,
+// and quantizes the coefficients to block floating point with the given
+// mantissa width.
+func Build(f func(x float64) float64, scheme Scheme, mantissaBits uint) (*Table, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if mantissaBits < 8 || mantissaBits > 32 {
+		return nil, fmt.Errorf("ppip: mantissa width %d out of [8,32]", mantissaBits)
+	}
+	t := &Table{Scheme: scheme, MantissaBits: mantissaBits, TBits: 24}
+	for _, tier := range scheme {
+		w := (tier.End - tier.Start) / float64(tier.Entries)
+		for e := 0; e < tier.Entries; e++ {
+			lo := tier.Start + float64(e)*w
+			hi := lo + w
+			// Fit in the local coordinate t = (x-lo)/w so the narrow
+			// datapath sees well-scaled arguments.
+			g := func(tt float64) float64 { return f(lo + tt*w) }
+			c, _, err := Remez(g, 0, 1, 3)
+			if err != nil {
+				return nil, err
+			}
+			var c4 [4]float64
+			copy(c4[:], c)
+			t.FloatCoeffs = append(t.FloatCoeffs, c4)
+			t.Segments = append(t.Segments, Segment{Lo: lo, Hi: hi})
+		}
+	}
+	// Continuity (paper: "the coefficients are adjusted to make the
+	// function continuous across segment boundaries"): pick each boundary
+	// value as the average of the two adjacent fits, then apply a linear
+	// correction within each segment so it hits both of its boundary
+	// targets. The correction is local — at most the segment's own fit
+	// error — so a poor fit in one segment (e.g. at the clamped core of a
+	// divergent kernel) cannot leak into the rest of the table.
+	n := len(t.FloatCoeffs)
+	bnd := make([]float64, n+1)
+	bnd[0] = polyEval(t.FloatCoeffs[0][:], 0)
+	bnd[n] = polyEval(t.FloatCoeffs[n-1][:], 1)
+	for i := 1; i < n; i++ {
+		left := polyEval(t.FloatCoeffs[i-1][:], 1)
+		right := polyEval(t.FloatCoeffs[i][:], 0)
+		bnd[i] = (left + right) / 2
+	}
+	for i := 0; i < n; i++ {
+		c := &t.FloatCoeffs[i]
+		lo := polyEval(c[:], 0)
+		hi := polyEval(c[:], 1)
+		a := bnd[i] - lo
+		c[0] += a
+		c[1] += bnd[i+1] - (hi + a)
+	}
+	// Block floating-point quantization.
+	for i := range t.Segments {
+		t.quantizeSegment(i)
+	}
+	return t, nil
+}
+
+// quantizeSegment packs the four float coefficients of segment i into a
+// shared-exponent block format.
+func (t *Table) quantizeSegment(i int) {
+	c := t.FloatCoeffs[i]
+	maxAbs := 0.0
+	for _, v := range c {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	exp := 0
+	if maxAbs > 0 {
+		exp = int(math.Floor(math.Log2(maxAbs))) + 1 // values fit in [-2^exp, 2^exp)
+	}
+	scale := math.Exp2(float64(exp))
+	half := int64(1) << (t.MantissaBits - 1)
+	seg := &t.Segments[i]
+	seg.Exp = exp
+	for j, v := range c {
+		m := int64(math.RoundToEven(v / scale * float64(half)))
+		if m > half-1 {
+			m = half - 1
+		}
+		if m < -half {
+			m = -half
+		}
+		seg.Mantissa[j] = m
+	}
+}
+
+// segmentIndex locates the segment containing normalized x in [0,1).
+func (t *Table) segmentIndex(x float64) int {
+	idx := 0
+	for _, tier := range t.Scheme {
+		if x < tier.End || tier.End == 1 {
+			w := (tier.End - tier.Start) / float64(tier.Entries)
+			e := int((x - tier.Start) / w)
+			if e < 0 {
+				e = 0
+			}
+			if e >= tier.Entries {
+				e = tier.Entries - 1
+			}
+			return idx + e
+		}
+		idx += tier.Entries
+	}
+	return len(t.Segments) - 1
+}
+
+// Evaluate computes f(x) for normalized x = (r/R)^2 in [0,1) through the
+// fixed-point pipeline: the local coordinate t is quantized to TBits, the
+// cubic is evaluated by Horner's rule on integer mantissas with
+// round-to-nearest/even after each multiply, and the block exponent is
+// applied at the end. This is bit-faithful to the narrow-datapath
+// evaluation style of Figure 4a.
+func (t *Table) Evaluate(x float64) float64 {
+	seg := &t.Segments[t.segmentIndex(x)]
+	w := seg.Hi - seg.Lo
+	tt := (x - seg.Lo) / w
+	if tt < 0 {
+		tt = 0
+	} else if tt >= 1 {
+		tt = math.Nextafter(1, 0)
+	}
+	// Quantize t to TBits fraction bits.
+	tq := int64(math.RoundToEven(tt * float64(int64(1)<<t.TBits)))
+	// Horner in integer arithmetic: acc and mantissas carry
+	// MantissaBits-1 fraction bits; each multiply by tq adds TBits, which
+	// RoundShift removes.
+	acc := seg.Mantissa[3]
+	for j := 2; j >= 0; j-- {
+		acc = fixp.RoundShift(acc*tq, t.TBits) + seg.Mantissa[j]
+	}
+	half := float64(int64(1) << (t.MantissaBits - 1))
+	return float64(acc) / half * math.Exp2(float64(seg.Exp))
+}
+
+// EvaluateFloat computes f(x) from the continuous piecewise coefficients
+// (no quantization) — the reference for isolating quantization error.
+func (t *Table) EvaluateFloat(x float64) float64 {
+	i := t.segmentIndex(x)
+	seg := &t.Segments[i]
+	tt := (x - seg.Lo) / (seg.Hi - seg.Lo)
+	return polyEval(t.FloatCoeffs[i][:], tt)
+}
+
+// MaxError measures the maximum absolute error of the fixed-point table
+// against f over [xlo, 1) using a dense scan.
+func (t *Table) MaxError(f func(float64) float64, xlo float64, samples int) float64 {
+	worst := 0.0
+	for i := 0; i < samples; i++ {
+		x := xlo + (1-xlo)*(float64(i)+0.5)/float64(samples)
+		if e := math.Abs(t.Evaluate(x) - f(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

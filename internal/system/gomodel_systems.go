@@ -1,0 +1,51 @@
+package system
+
+import (
+	"fmt"
+
+	"anton/internal/vec"
+)
+
+// CATrace extracts the alpha-carbon positions of a built system's
+// protein — the native structure handed to coarse-grained models
+// (internal/gomodel) and to structural analyses.
+func (s *System) CATrace() ([]vec.V3, error) {
+	if s.ProteinAtoms == 0 {
+		return nil, fmt.Errorf("system %s: no protein", s.Name)
+	}
+	nRes := s.ProteinAtoms / AtomsPerResidue
+	out := make([]vec.V3, 0, nRes)
+	for i := 0; i < nRes; i++ {
+		out = append(out, s.R[i*AtomsPerResidue+2]) // template index 2 = CA
+	}
+	return out, nil
+}
+
+// BackboneNHBonds returns the (N, HN) atom index pairs of each residue —
+// the bond vectors whose order parameters Figure 6 reports.
+func (s *System) BackboneNHBonds() ([][2]int, error) {
+	if s.ProteinAtoms == 0 {
+		return nil, fmt.Errorf("system %s: no protein", s.Name)
+	}
+	nRes := s.ProteinAtoms / AtomsPerResidue
+	out := make([][2]int, 0, nRes)
+	for i := 0; i < nRes; i++ {
+		base := i * AtomsPerResidue
+		out = append(out, [2]int{base, base + 1})
+	}
+	return out, nil
+}
+
+// CASelection returns the alpha-carbon atom indices (the standard
+// alignment selection for superposition).
+func (s *System) CASelection() ([]int, error) {
+	if s.ProteinAtoms == 0 {
+		return nil, fmt.Errorf("system %s: no protein", s.Name)
+	}
+	nRes := s.ProteinAtoms / AtomsPerResidue
+	out := make([]int, 0, nRes)
+	for i := 0; i < nRes; i++ {
+		out = append(out, i*AtomsPerResidue+2)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package system
+
+import (
+	"sort"
+
+	"anton/internal/vec"
+)
+
+// proteinNeighborSet returns the set of atom pairs (keys i<<32|j, i<j)
+// within two covalent bonds of each other (1-2 and 1-3) for the standard
+// residue layout, which the clash relaxation must leave alone.
+func proteinNeighborSet(nRes int, capPairs [][2]int, base int) map[uint64]bool {
+	adj := make(map[int][]int)
+	link := func(i, j int) {
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	}
+	for i := 0; i < nRes; i++ {
+		o := base + i*AtomsPerResidue
+		for _, tb := range templateBonds {
+			link(o+tb[0], o+tb[1])
+		}
+		if i+1 < nRes {
+			link(o+4, o+AtomsPerResidue)
+		}
+	}
+	for _, cp := range capPairs {
+		link(cp[0], cp[1])
+	}
+	set := make(map[uint64]bool)
+	add := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		set[uint64(i)<<32|uint64(uint32(j))] = true
+	}
+	for i, nbrs := range adj {
+		for _, j := range nbrs {
+			add(i, j) // 1-2
+			for _, k := range adj[j] {
+				add(i, k) // 1-3
+			}
+		}
+	}
+	return set
+}
+
+// relaxHydrogens resolves remaining hydrogen clashes by rotating each
+// hydrogen about its parent heavy atom (preserving the X-H distance that
+// the constraints will be derived from): the hydrogen is pushed away from
+// clash partners and re-projected onto its bond sphere.
+func relaxHydrogens(r []vec.V3, hParent map[int]int, neighbors map[uint64]bool, dmin float64, maxIter int) {
+	n := len(r)
+	hs := make([]int, 0, len(hParent))
+	for h := range hParent {
+		hs = append(hs, h)
+	}
+	sort.Ints(hs)
+	for iter := 0; iter < maxIter; iter++ {
+		cells := make(map[[3]int][]int)
+		key := func(p vec.V3) [3]int {
+			return [3]int{int(p.X / dmin), int(p.Y / dmin), int(p.Z / dmin)}
+		}
+		for i := 0; i < n; i++ {
+			cells[key(r[i])] = append(cells[key(r[i])], i)
+		}
+		moved := false
+		for _, h := range hs {
+			parent := hParent[h]
+			bondLen := vec.Dist(r[h], r[parent])
+			var push vec.V3
+			k := key(r[h])
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dz := -1; dz <= 1; dz++ {
+						for _, j := range cells[[3]int{k[0] + dx, k[1] + dy, k[2] + dz}] {
+							if j == h {
+								continue
+							}
+							pk := pairKey64(h, j)
+							if neighbors[pk] {
+								continue
+							}
+							d := r[h].Sub(r[j])
+							dist := d.Norm()
+							if dist >= dmin || dist < 1e-9 {
+								continue
+							}
+							push = push.Add(d.Scale((dmin - dist) / dist))
+						}
+					}
+				}
+			}
+			if push.Norm() == 0 {
+				continue
+			}
+			moved = true
+			// Push, then re-project onto the bond sphere around the parent.
+			cand := r[h].Add(push.Scale(0.5))
+			dir := cand.Sub(r[parent])
+			if dn := dir.Norm(); dn > 1e-9 {
+				r[h] = r[parent].Add(dir.Scale(bondLen / dn))
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+func pairKey64(i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(uint32(j))
+}
+
+// relaxProteinClashes iteratively pushes apart non-neighbor atom pairs
+// closer than dmin, moving both atoms symmetrically along their axis.
+// Atoms flagged in skip (hydrogens) take no part — they are repositioned
+// rigidly by the caller afterwards. Deterministic: pairs are processed in
+// sorted order each sweep.
+// bondTarget fixes the distance between two heavy atoms during clash
+// relaxation (the covalent skeleton).
+type bondTarget struct {
+	i, j int
+	r    float64
+}
+
+func relaxProteinClashes(r []vec.V3, neighbors map[uint64]bool, dmin float64, maxIter int, skip []bool, bonds []bondTarget) {
+	n := len(r)
+	restoreBonds := func() {
+		for pass := 0; pass < 8; pass++ {
+			for _, b := range bonds {
+				d := r[b.j].Sub(r[b.i])
+				dist := d.Norm()
+				if dist < 1e-9 {
+					d = vec.V3{X: 1}
+					dist = 1
+				}
+				corr := (b.r - dist) / 2
+				u := d.Scale(1 / dist)
+				r[b.i] = r[b.i].Sub(u.Scale(corr))
+				r[b.j] = r[b.j].Add(u.Scale(corr))
+			}
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Spatial hash on a dmin-sized grid.
+		cells := make(map[[3]int][]int)
+		key := func(p vec.V3) [3]int {
+			return [3]int{int(p.X / dmin), int(p.Y / dmin), int(p.Z / dmin)}
+		}
+		for i := 0; i < n; i++ {
+			k := key(r[i])
+			cells[k] = append(cells[k], i)
+		}
+		type clash struct{ i, j int }
+		var clashes []clash
+		for i := 0; i < n; i++ {
+			if skip != nil && skip[i] {
+				continue
+			}
+			k := key(r[i])
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dz := -1; dz <= 1; dz++ {
+						for _, j := range cells[[3]int{k[0] + dx, k[1] + dy, k[2] + dz}] {
+							if j <= i {
+								continue
+							}
+							if skip != nil && skip[j] {
+								continue
+							}
+							pk := uint64(i)<<32 | uint64(uint32(j))
+							if neighbors[pk] {
+								continue
+							}
+							if vec.Dist2(r[i], r[j]) < dmin*dmin {
+								clashes = append(clashes, clash{i, j})
+							}
+						}
+					}
+				}
+			}
+		}
+		if len(clashes) == 0 {
+			restoreBonds()
+			return
+		}
+		sort.Slice(clashes, func(a, b int) bool {
+			if clashes[a].i != clashes[b].i {
+				return clashes[a].i < clashes[b].i
+			}
+			return clashes[a].j < clashes[b].j
+		})
+		for _, c := range clashes {
+			d := r[c.j].Sub(r[c.i])
+			dist := d.Norm()
+			if dist < 1e-6 {
+				// Coincident: separate along a fixed axis.
+				d = vec.V3{X: 1}
+				dist = 1
+			}
+			push := (dmin - dist) / 2 * 1.05
+			if push <= 0 {
+				continue
+			}
+			u := d.Scale(1 / dist)
+			r[c.i] = r[c.i].Sub(u.Scale(push))
+			r[c.j] = r[c.j].Add(u.Scale(push))
+		}
+		// Keep the covalent skeleton intact: clash pushes must not
+		// stretch or collapse bonded heavy-atom pairs.
+		restoreBonds()
+	}
+}

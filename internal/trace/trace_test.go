@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"anton/internal/vec"
+)
+
+func sampleTrajectory(t *testing.T) *Trajectory {
+	t.Helper()
+	tr := New(5)
+	rng := rand.New(rand.NewSource(1))
+	for f := 0; f < 7; f++ {
+		r := make([]vec.V3, 5)
+		for i := range r {
+			r[i] = vec.V3{X: rng.Float64() * 10, Y: rng.Float64() * 10, Z: rng.Float64() * 10}
+		}
+		if err := tr.Record(f*4, float64(f)*10, r, -100+float64(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestRecordAndSeries(t *testing.T) {
+	tr := sampleTrajectory(t)
+	if tr.Len() != 7 {
+		t.Fatalf("frames: %d", tr.Len())
+	}
+	times, energies := tr.EnergySeries()
+	if len(times) != 7 || times[3] != 30 || energies[0] != -100 {
+		t.Errorf("series wrong: %v %v", times, energies)
+	}
+	if len(tr.PositionFrames()) != 7 {
+		t.Error("position frames wrong")
+	}
+	// Wrong atom count rejected.
+	if err := tr.Record(99, 0, make([]vec.V3, 3), 0); err == nil {
+		t.Error("mismatched frame accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrajectory(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NAtoms != tr.NAtoms || back.Len() != tr.Len() {
+		t.Fatalf("shape mismatch: %d/%d atoms, %d/%d frames", back.NAtoms, tr.NAtoms, back.Len(), tr.Len())
+	}
+	for f := range tr.Frames {
+		if back.Frames[f].Step != tr.Frames[f].Step {
+			t.Errorf("frame %d step mismatch", f)
+		}
+		if back.Frames[f].Energy != tr.Frames[f].Energy {
+			t.Errorf("frame %d energy mismatch", f)
+		}
+		for i := range tr.Frames[f].Positions {
+			d := back.Frames[f].Positions[i].Sub(tr.Frames[f].Positions[i]).MaxAbs()
+			if d > 1e-5 { // float32 storage
+				t.Fatalf("frame %d atom %d position off by %g", f, i, d)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short input accepted")
+	}
+	var buf bytes.Buffer
+	tr := sampleTrajectory(t)
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xff // corrupt magic
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+}
+
+func TestMaxDisplacement(t *testing.T) {
+	tr := New(2)
+	tr.Record(0, 0, []vec.V3{{}, {X: 1}}, 0)
+	tr.Record(1, 1, []vec.V3{{Y: 0.5}, {X: 1}}, 0)
+	if d := tr.MaxDisplacement(); d != 0.5 {
+		t.Errorf("max displacement: got %g", d)
+	}
+}
+
+func TestWritePDB(t *testing.T) {
+	labels := []AtomLabel{
+		{Name: "N", Residue: 0}, {Name: "CA", Residue: 0},
+		{Name: "OW", Residue: 1}, {Name: "HW1", Residue: 1},
+	}
+	r := []vec.V3{{X: 1.5}, {X: 2.5, Y: 0.1}, {X: 5, Y: 5, Z: 5}, {X: 5.9, Y: 5, Z: 5}}
+	var buf bytes.Buffer
+	if err := WritePDB(&buf, labels, r, vec.Cube(10), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CRYST1", "MODEL", "ATOM", "HOH", "ENDMDL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PDB missing %q:\n%s", want, out)
+		}
+	}
+	// Fixed-width ATOM records: all the same length.
+	var atomLens []int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ATOM") {
+			atomLens = append(atomLens, len(line))
+		}
+	}
+	if len(atomLens) != 4 {
+		t.Fatalf("atom records: %d", len(atomLens))
+	}
+	for _, l := range atomLens {
+		if l != atomLens[0] {
+			t.Error("ATOM records not fixed width")
+		}
+	}
+	// Mismatched label count rejected.
+	if err := WritePDB(&buf, labels[:2], r, vec.Cube(10), 1); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestWritePDBTrajectory(t *testing.T) {
+	tr := sampleTrajectory(t)
+	labels := make([]AtomLabel, tr.NAtoms)
+	for i := range labels {
+		labels[i] = AtomLabel{Name: "CA", Residue: i}
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePDBTrajectory(&buf, labels, vec.Cube(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "MODEL "); got != tr.Len() {
+		t.Errorf("model records: %d, want %d", got, tr.Len())
+	}
+	if got := strings.Count(buf.String(), "ENDMDL"); got != tr.Len() {
+		t.Errorf("endmdl records: %d, want %d", got, tr.Len())
+	}
+}
