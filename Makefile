@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test test-short verify bench-pair
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Static analysis + race detector over the packages with parallel
+# mutable state (see scripts/verify.sh).
+verify:
+	sh scripts/verify.sh
+
+# The pair-kernel benchmarks backing BENCH_pairkernel.json.
+bench-pair:
+	$(GO) test -run '^$$' -bench 'BenchmarkRangeLimitedForces|BenchmarkStepDHFRScale' \
+		-benchtime 3x ./internal/core

@@ -67,6 +67,9 @@ type Stats struct {
 	Migrations       int
 }
 
+// tally accumulates one worker's pair statistics during a force phase.
+type tally struct{ considered, matched, computed int64 }
+
 // MatchEfficiency returns computed/considered, the hardware utilization
 // figure of Table 3.
 func (s Stats) MatchEfficiency() float64 {
@@ -108,12 +111,15 @@ type Engine struct {
 	subSide  [3]float64 // subbox edge lengths
 	subSlack float64    // how far an atom may drift from its subbox
 	subOf    []int32    // subbox per atom (assigned individually)
-	subAtoms [][]int32  // resident atoms per subbox, sorted
 	subPairs [][2]int32 // interacting subbox pairs (linear ids)
 
+	// pk is the cache-resident cluster pair kernel: slot-indexed SoA
+	// gather of the subbox decomposition plus exclusion partner lists
+	// (pairkernel.go).
+	pk pairKernel
+
 	// Static interaction bookkeeping.
-	skipSet  map[uint64]bool // excluded + 1-4 pairs (not computed by HTIS)
-	exclList [][2]int32      // sorted exclusion list (correction pipeline)
+	exclList [][2]int32 // sorted exclusion list (correction pipeline)
 	pair14   []ff.Pair14
 
 	mesh *meshSolver
@@ -122,8 +128,32 @@ type Engine struct {
 	// on first SHAKE call).
 	groupConstraints [][]int
 
-	// workerF holds per-worker force accumulation buffers.
-	workerF [][]Force3
+	// Per-worker accumulation state, reused across phases and steps.
+	workerF        [][]Force3   // force buffers
+	workerScratch  [][]vec.V3   // bonded-force float scratch (sparsely zeroed)
+	workerEnergies []float64    // per-worker energy partials
+	workerTallies  []tally      // per-worker pair statistics
+	workerVirials  []htis.Virial
+
+	// Preallocated chunk closures for the steady-state phases (a closure
+	// passed to parallelChunks escapes; allocating them once keeps the
+	// per-step path allocation-free).
+	pairChunkFn   func(w, lo, hi int)
+	bondedChunkFn func(w, lo, hi int)
+	reduceChunkFn func(w, lo, hi int)
+	redu          forceReduction
+
+	// posCache holds the decoded (float, Å) positions of the current
+	// force evaluation, shared by every float consumer (bonded terms,
+	// mesh, residency checks) instead of per-phase decode passes.
+	posCache []vec.V3
+
+	// oldPos is the reusable pre-drift position snapshot of stepOnce.
+	oldPos []fixp.Vec3
+
+	// SHAKE/RATTLE atom-indexed scratch (touched sparsely per group).
+	shakeCur, shakeRef []vec.V3
+	rattleVel          []vec.V3
 
 	// ljPairs caches the Lorentz-Berthelot combined parameters per
 	// LJ-type pair (the parameter values a PPIP receives alongside each
@@ -202,10 +232,11 @@ func NewEngine(s *system.System, cfg Config) (*Engine, error) {
 	}
 	e.placeVSitesFixed()
 
-	// Static skip set and sorted exclusion list.
-	e.skipSet = make(map[uint64]bool, s.Top.NumExclusions()+len(s.Top.Pairs14))
+	// Static exclusion bookkeeping: per-atom sorted partner lists for the
+	// pair kernel's merge scan (replacing the old per-pair hash lookups)
+	// and the sorted exclusion list for the correction pipeline.
+	e.pk.buildExclusions(s.Top, s.NAtoms())
 	s.Top.ExcludedPairs(func(i, j int) {
-		e.skipSet[pairKey(i, j)] = true
 		e.exclList = append(e.exclList, [2]int32{int32(i), int32(j)})
 	})
 	sort.Slice(e.exclList, func(a, b int) bool {
@@ -214,9 +245,6 @@ func NewEngine(s *system.System, cfg Config) (*Engine, error) {
 		}
 		return e.exclList[a][1] < e.exclList[b][1]
 	})
-	for _, p := range s.Top.Pairs14 {
-		e.skipSet[pairKey(p.I, p.J)] = true
-	}
 	e.pair14 = s.Top.Pairs14
 
 	// Constraint groups, extended with singletons so every atom belongs
@@ -279,15 +307,23 @@ func NewEngine(s *system.System, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
+	// Steady-state phase closures (allocated once, see parallel.go).
+	e.pairChunkFn = e.pairChunk
+	e.bondedChunkFn = e.bondedChunk
+	e.reduceChunkFn = e.reduceChunk
+
+	e.posCache = make([]vec.V3, s.NAtoms())
+	e.refreshPosCache()
 	e.migrate()
 	return e, nil
 }
 
-func pairKey(i, j int) uint64 {
-	if i > j {
-		i, j = j, i
+// refreshPosCache decodes the fixed-point positions into the shared float
+// cache (once per force evaluation; every float consumer reads it).
+func (e *Engine) refreshPosCache() {
+	for i, p := range e.Pos {
+		e.posCache[i] = e.Coder.Decode(p)
 	}
-	return uint64(i)<<32 | uint64(uint32(j))
 }
 
 // SetVelocities quantizes and installs initial velocities.
@@ -337,16 +373,21 @@ func (e *Engine) StepCount() int { return e.step }
 
 // migrate reassigns constraint groups to home boxes based on the group
 // leader's current position (§3.2.4: all atoms of a constraint group
-// reside on the same node, which takes full responsibility for them).
+// reside on the same node, which takes full responsibility for them),
+// then rebuilds the pair kernel's slot-indexed gather. Reads the decoded
+// position cache, which callers keep in sync with e.Pos.
 func (e *Engine) migrate() {
 	n := e.grid.NumBoxes()
-	e.boxAtoms = make([][]int32, n)
-	if e.boxOf == nil {
+	if e.boxAtoms == nil {
+		e.boxAtoms = make([][]int32, n)
 		e.boxOf = make([]int32, len(e.Pos))
+	}
+	for i := range e.boxAtoms {
+		e.boxAtoms[i] = e.boxAtoms[i][:0]
 	}
 	for _, g := range e.groups {
 		leader := g[0]
-		r := e.Coder.Decode(e.Pos[leader])
+		r := e.posCache[leader]
 		bx := int(r.X / e.boxSide[0])
 		by := int(r.Y / e.boxSide[1])
 		bz := int(r.Z / e.boxSide[2])
@@ -362,23 +403,21 @@ func (e *Engine) migrate() {
 	}
 	// Subbox assignment is per atom (pair discovery does not depend on
 	// ownership), so the residency slack only has to cover inter-
-	// migration drift. Scan order makes each list sorted by construction.
-	ns := e.subGrid.NumBoxes()
-	e.subAtoms = make([][]int32, ns)
+	// migration drift. The kernel rebuild sorts each subbox's slot range
+	// by atom index by construction.
 	if e.subOf == nil {
 		e.subOf = make([]int32, len(e.Pos))
 	}
 	for i := range e.Pos {
-		r := e.Coder.Decode(e.Pos[i])
+		r := e.posCache[i]
 		c := e.subGrid.Wrap(nt.BoxCoord{
 			X: int(r.X / e.subSide[0]),
 			Y: int(r.Y / e.subSide[1]),
 			Z: int(r.Z / e.subSide[2]),
 		})
-		idx := int32(e.subGrid.Index(c))
-		e.subOf[i] = idx
-		e.subAtoms[idx] = append(e.subAtoms[idx], int32(i))
+		e.subOf[i] = int32(e.subGrid.Index(c))
 	}
+	e.pk.rebuild(e)
 	e.Stats.Migrations++
 }
 
@@ -419,7 +458,11 @@ func (e *Engine) stepOnce() {
 		e.kick(i, a.Mass, dt/2, withLongNow)
 	}
 	// Drift.
-	oldPos := append([]fixp.Vec3(nil), e.Pos...)
+	if len(e.oldPos) != len(e.Pos) {
+		e.oldPos = make([]fixp.Vec3, len(e.Pos))
+	}
+	oldPos := e.oldPos
+	copy(oldPos, e.Pos)
 	cd := VelQuantum * dt * 2 / e.Coder.L * math.Exp2(float64(fixp.FracBits))
 	for i, a := range top.Atoms {
 		if a.Mass == 0 {
@@ -485,6 +528,7 @@ func (b EnergyBreakdown) Total() float64 {
 // computeForces evaluates the short-range terms every step and the
 // long-range terms when refresh is true.
 func (e *Engine) computeForces(refreshLong bool) {
+	e.refreshPosCache()
 	e.checkResidency()
 	for i := range e.fShort {
 		e.fShort[i] = Force3{}
@@ -508,140 +552,65 @@ func (e *Engine) computeForces(refreshLong bool) {
 	e.PotentialEnergy = e.Breakdown.Total()
 }
 
-// rangeLimitedForces runs the NT-decomposed HTIS computation: every
-// interacting box pair is processed by its neutral-territory node; match
-// units prefilter, PPIPs compute, forces accumulate in wrapping counts.
-func (e *Engine) rangeLimitedForces() float64 {
+// bondedChunk evaluates bonded terms [lo, hi) of the flat term index as
+// worker w (installed once as Engine.bondedChunkFn). The flat index
+// covers bonds, then angles, then dihedrals, then impropers — mirroring
+// the static assignment of bond terms to geometry cores.
+func (e *Engine) bondedChunk(w, lo, hi int) {
 	top := e.Sys.Top
-	workers := e.workers()
-	bufs := e.forceBuffers(workers, len(e.fShort))
-	energies := make([]float64, workers)
-	type tally struct{ considered, matched, computed int64 }
-	tallies := make([]tally, workers)
-	virials := make([]htis.Virial, workers)
-	parallelChunks(len(e.subPairs), workers, func(w, lo, hi int) {
-		buf := bufs[w]
-		var energy float64
-		var t tally
-		vir := &virials[w]
-		for _, bp := range e.subPairs[lo:hi] {
-			a := e.subAtoms[bp[0]]
-			b := e.subAtoms[bp[1]]
-			same := bp[0] == bp[1]
-			for ia := 0; ia < len(a); ia++ {
-				i := a[ia]
-				start := 0
-				if same {
-					start = ia + 1
-				}
-				for ib := start; ib < len(b); ib++ {
-					j := b[ib]
-					t.considered++
-					d := e.Pos[i].Sub(e.Pos[j])
-					if !e.mu.MayInteract(d) {
-						continue
-					}
-					t.matched++
-					if e.skipSet[pairKey(int(i), int(j))] {
-						continue
-					}
-					ai, aj := top.Atoms[i], top.Atoms[j]
-					lj := e.ljPairs[ai.LJType*e.nTypes+aj.LJType]
-					res := e.Pipe.PairForce(d, htis.PairParams{
-						QQ:      ff.CoulombK * ai.Charge * aj.Charge,
-						Sigma:   lj.sigma,
-						Epsilon: lj.eps,
-					})
-					if !res.Within {
-						continue
-					}
-					t.computed++
-					buf[i] = buf[i].AddRaw(res.FX, res.FY, res.FZ)
-					buf[j] = buf[j].AddRaw(-res.FX, -res.FY, -res.FZ)
-					energy += res.Energy
-					if e.Cfg.TrackVirial {
-						// r_ij (x) F_ij in raw position counts and force
-						// counts: wide wrapping accumulation keeps the
-						// tensor order-independent (Figure 4c).
-						vir.Add(res.FX, res.FY, res.FZ,
-							int64(int32(d.X)), int64(int32(d.Y)), int64(int32(d.Z)))
-					}
-				}
-			}
-		}
-		energies[w] = energy
-		tallies[w] = t
-	})
-	mergeForces(e.fShort, bufs)
+	box := e.Sys.Box
+	r := e.posCache
+	buf := e.workerF[w]
+	scratch := e.workerScratch[w]
 	energy := 0.0
-	if e.Cfg.TrackVirial {
-		e.virial = htis.Virial{}
-	}
-	for w := 0; w < workers; w++ {
-		energy += energies[w]
-		e.Stats.PairsConsidered += tallies[w].considered
-		e.Stats.PairsMatched += tallies[w].matched
-		e.Stats.PairsComputed += tallies[w].computed
-		if e.Cfg.TrackVirial {
-			e.virial.Merge(&virials[w])
+	addTerm := func(atoms [4]int, n int, eTerm float64) {
+		energy += eTerm
+		for _, a := range atoms[:n] {
+			buf[a] = buf[a].AddRaw(
+				htis.QuantizeForce(scratch[a].X),
+				htis.QuantizeForce(scratch[a].Y),
+				htis.QuantizeForce(scratch[a].Z),
+			)
+			scratch[a] = vec.Zero
 		}
 	}
-	return energy
+	for t := lo; t < hi; t++ {
+		switch {
+		case t < len(top.Bonds):
+			b := &top.Bonds[t]
+			addTerm([4]int{b.I, b.J}, 2, ff.BondForce(b, box, r, scratch))
+		case t < len(top.Bonds)+len(top.Angles):
+			a := &top.Angles[t-len(top.Bonds)]
+			addTerm([4]int{a.I, a.J, a.K}, 3, ff.AngleForce(a, box, r, scratch))
+		case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
+			d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
+			addTerm([4]int{d.I, d.J, d.K, d.L}, 4, ff.DihedralForce(d, box, r, scratch))
+		default:
+			im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
+			addTerm([4]int{im.I, im.J, im.K, im.L}, 4, ff.ImproperForce(im, box, r, scratch))
+		}
+	}
+	e.workerEnergies[w] = energy
 }
 
 // bondedForces evaluates each bond term once (on its statically assigned
-// geometry core) from the quantized positions and accumulates the
+// geometry core) from the cached decoded positions and accumulates the
 // quantized per-atom contributions.
 func (e *Engine) bondedForces() float64 {
 	top := e.Sys.Top
-	box := e.Sys.Box
 	nTerms := len(top.Bonds) + len(top.Angles) + len(top.Dihedrals) + len(top.Impropers)
 	if nTerms == 0 {
 		return 0
 	}
-	r := e.Positions()
 	workers := e.workers()
-	bufs := e.forceBuffers(workers, len(r))
-	energies := make([]float64, workers)
-	// The flat term index covers bonds, then angles, then dihedrals —
-	// mirroring the static assignment of bond terms to geometry cores.
-	parallelChunks(nTerms, workers, func(w, lo, hi int) {
-		buf := bufs[w]
-		scratch := make([]vec.V3, len(r))
-		energy := 0.0
-		addTerm := func(atoms [4]int, n int, eTerm float64) {
-			energy += eTerm
-			for _, a := range atoms[:n] {
-				buf[a] = buf[a].AddRaw(
-					htis.QuantizeForce(scratch[a].X),
-					htis.QuantizeForce(scratch[a].Y),
-					htis.QuantizeForce(scratch[a].Z),
-				)
-				scratch[a] = vec.Zero
-			}
-		}
-		for t := lo; t < hi; t++ {
-			switch {
-			case t < len(top.Bonds):
-				b := &top.Bonds[t]
-				addTerm([4]int{b.I, b.J}, 2, ff.BondForce(b, box, r, scratch))
-			case t < len(top.Bonds)+len(top.Angles):
-				a := &top.Angles[t-len(top.Bonds)]
-				addTerm([4]int{a.I, a.J, a.K}, 3, ff.AngleForce(a, box, r, scratch))
-			case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
-				d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
-				addTerm([4]int{d.I, d.J, d.K, d.L}, 4, ff.DihedralForce(d, box, r, scratch))
-			default:
-				im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
-				addTerm([4]int{im.I, im.J, im.K, im.L}, 4, ff.ImproperForce(im, box, r, scratch))
-			}
-		}
-		energies[w] = energy
-	})
-	mergeForces(e.fShort, bufs)
+	bufs := e.forceBuffers(workers, len(e.posCache))
+	e.scratchBuffers(workers, len(e.posCache))
+	e.workerAccums(workers)
+	parallelChunks(nTerms, workers, e.bondedChunkFn)
+	e.reduceForces(e.fShort, bufs, nil, workers)
 	energy := 0.0
-	for _, ew := range energies {
-		energy += ew
+	for w := 0; w < workers; w++ {
+		energy += e.workerEnergies[w]
 	}
 	return energy
 }
@@ -654,7 +623,8 @@ func (e *Engine) exclusionCorrections() float64 {
 	top := e.Sys.Top
 	workers := e.workers()
 	bufs := e.forceBuffers(workers, len(e.fLong))
-	energies := make([]float64, workers)
+	e.workerAccums(workers)
+	energies := e.workerEnergies
 	parallelChunks(len(e.exclList), workers, func(w, lo, hi int) {
 		buf := bufs[w]
 		energy := 0.0
@@ -680,10 +650,10 @@ func (e *Engine) exclusionCorrections() float64 {
 		}
 		energies[w] += energy
 	})
-	mergeForces(e.fLong, bufs)
+	e.reduceForces(e.fLong, bufs, nil, workers)
 	energy := 0.0
-	for _, ew := range energies {
-		energy += ew
+	for w := 0; w < workers; w++ {
+		energy += energies[w]
 	}
 	return energy
 }
@@ -778,15 +748,19 @@ func (e *Engine) shakeFixed(oldPos []fixp.Vec3, dt float64) {
 			e.groupConstraints[g] = append(e.groupConstraints[g], ci)
 		}
 	}
+	if e.shakeCur == nil {
+		e.shakeCur = make([]vec.V3, len(e.Pos))
+		e.shakeRef = make([]vec.V3, len(e.Pos))
+	}
 	const tol = 1e-10
 	for gi, cons := range e.groupConstraints {
 		if len(cons) == 0 {
 			continue
 		}
 		atoms := e.groups[gi]
-		// Decode current and reference positions.
-		cur := make(map[int]vec.V3, len(atoms))
-		ref := make(map[int]vec.V3, len(atoms))
+		// Decode current and reference positions into the atom-indexed
+		// scratch (each group writes its atoms before reading them).
+		cur, ref := e.shakeCur, e.shakeRef
 		for _, a := range atoms {
 			cur[a] = e.Coder.Decode(e.Pos[a])
 			ref[a] = e.Coder.Decode(oldPos[a])
@@ -833,12 +807,15 @@ func (e *Engine) rattleFixed() {
 	if len(top.Constraints) == 0 {
 		return
 	}
+	if e.rattleVel == nil {
+		e.rattleVel = make([]vec.V3, len(e.Pos))
+	}
 	for gi, cons := range e.groupConstraints {
 		if len(cons) == 0 {
 			continue
 		}
 		atoms := e.groups[gi]
-		v := make(map[int]vec.V3, len(atoms))
+		v := e.rattleVel
 		for _, a := range atoms {
 			v[a] = e.Vel[a].Float()
 		}
@@ -894,7 +871,7 @@ func (e *Engine) berendsenFixed() {
 // cannot happen between its scheduled migrations (§3.2.4).
 func (e *Engine) checkResidency() {
 	for i := range e.Pos {
-		r := e.Coder.Decode(e.Pos[i])
+		r := e.posCache[i]
 		c := e.subGrid.Coord(int(e.subOf[i]))
 		if e.distToSubbox(r, c) > e.subSlack {
 			e.migrate()

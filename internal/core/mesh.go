@@ -38,7 +38,9 @@ type meshSolver struct {
 	counts    []int64     // fixed-point mesh charge accumulator
 	mesh      *fft.Grid3  // float mesh for the convolution
 
-	workerCounts [][]int64 // per-worker spreading buffers
+	workerCounts   [][]int64 // per-worker spreading buffers
+	workerTallies  []int64   // per-worker interaction counts (reused)
+	workerEnergies []float64 // per-worker energy partials (reused)
 }
 
 func newMeshSolver(s *system.System, split ewald.Split) (*meshSolver, error) {
@@ -116,8 +118,13 @@ func (e *Engine) meshForces() float64 {
 		for w := range ms.workerCounts {
 			ms.workerCounts[w] = make([]int64, len(ms.counts))
 		}
+		ms.workerTallies = make([]int64, workers)
+		ms.workerEnergies = make([]float64, workers)
 	}
-	meshTallies := make([]int64, workers)
+	meshTallies := ms.workerTallies
+	for w := range meshTallies {
+		meshTallies[w] = 0
+	}
 	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
 		counts := ms.workerCounts[w]
 		for i := range counts {
@@ -129,7 +136,7 @@ func (e *Engine) meshForces() float64 {
 			if q == 0 {
 				continue
 			}
-			r := e.Coder.Decode(e.Pos[i])
+			r := e.posCache[i]
 			ms.forEachMeshPoint(r, func(idx int, d2 float64, _ vec.V3) {
 				c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
 				counts[idx] += c // wrapping accumulate: order-independent
@@ -160,7 +167,11 @@ func (e *Engine) meshForces() float64 {
 	// written only by its owner). ---
 	h3 := ms.h * ms.h * ms.h
 	invS2 := 1 / (ms.sigma1 * ms.sigma1)
-	energies := make([]float64, workers)
+	energies := ms.workerEnergies
+	for w := range energies {
+		energies[w] = 0
+		meshTallies[w] = 0
+	}
 	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
 		var energy float64
 		var tally int64
@@ -169,7 +180,7 @@ func (e *Engine) meshForces() float64 {
 			if q == 0 {
 				continue
 			}
-			r := e.Coder.Decode(e.Pos[i])
+			r := e.posCache[i]
 			var ex float64
 			var fx, fy, fz float64
 			ms.forEachMeshPoint(r, func(idx int, d2 float64, d vec.V3) {

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"sort"
+
+	"anton/internal/ff"
+	"anton/internal/fixp"
+	"anton/internal/htis"
+)
+
+// The cache-resident cluster pair kernel. The HTIS pair loop is the
+// dominant per-step cost (on Anton, 32 PPIPs per ASIC exist solely to
+// make it fast); in software the same loop must stream cache lines
+// instead of chasing pointers. At every migration the kernel gathers the
+// per-atom data the loop needs — fixed-point position, CoulombK-scaled
+// charge, LJ type — into contiguous arrays indexed by subbox *slot*, so
+// that each subbox occupies one contiguous slot range and the inner loop
+// touches memory sequentially. Exclusions are consulted by a merge scan
+// over per-atom sorted partner lists (subbox slot order is atom order, so
+// the scan is linear), eliminating the per-pair hash lookup. Matched
+// pairs are queued and evaluated through the batched PPIP entry point,
+// and per-worker force partials are reduced in parallel over slot ranges
+// in fixed worker order — exact, because wrapping fixed-point addition is
+// associative, which is also why none of this changes the trajectory for
+// any worker count.
+
+// pairBatchSize is the PPIP input queue depth of the software model: the
+// number of matched pairs accumulated before a batched pipeline call.
+const pairBatchSize = 256
+
+// pairKernel is the slot-indexed SoA image of the subbox decomposition.
+type pairKernel struct {
+	// Slot maps, rebuilt at each migration. Slots are assigned in subbox
+	// scan order, ascending atom index within a subbox.
+	atomOf   []int32 // slot -> atom
+	slotOf   []int32 // atom -> slot
+	subStart []int32 // subbox -> first slot (len = NumBoxes()+1)
+
+	// Per-slot static parameters, rebuilt at each migration.
+	qK    []float64 // CoulombK * charge (QQ = qK[i] * q[j])
+	q     []float64 // raw charge
+	ljRow []int32   // LJType * nTypes: row base into Engine.ljPairs
+	ljCol []int32   // LJType: column offset into Engine.ljPairs
+
+	// Per-slot fixed-point positions, refreshed once per force evaluation
+	// between migrations.
+	pos []fixp.Vec3
+
+	// Per-atom sorted exclusion partner lists (excluded + scaled 1-4
+	// pairs), built once from the topology. Replaces the skip-set map.
+	exclOf [][]int32
+
+	// Per-worker PPIP batch queues.
+	batches []pairBatch
+
+	counts []int32 // per-subbox atom counts (migration scratch)
+}
+
+// pairBatch queues matched pairs for one worker between pipeline calls.
+// Fixed-capacity arrays with an explicit fill cursor: the hot loop writes
+// by index instead of paying append's length/capacity bookkeeping.
+type pairBatch struct {
+	ds     []fixp.Vec3
+	params []htis.PairParams
+	out    []htis.PairResult
+	si, sj []int32 // slot indices for the force scatter
+	n      int     // queued pair count
+}
+
+func (b *pairBatch) init() {
+	b.ds = make([]fixp.Vec3, pairBatchSize)
+	b.params = make([]htis.PairParams, pairBatchSize)
+	b.out = make([]htis.PairResult, pairBatchSize)
+	b.si = make([]int32, pairBatchSize)
+	b.sj = make([]int32, pairBatchSize)
+}
+
+// buildExclusions constructs the per-atom sorted exclusion partner lists
+// from the topology (both directions, excluded plus 1-4 pairs).
+func (k *pairKernel) buildExclusions(top *ff.Topology, n int) {
+	k.exclOf = make([][]int32, n)
+	add := func(i, j int) {
+		k.exclOf[i] = append(k.exclOf[i], int32(j))
+		k.exclOf[j] = append(k.exclOf[j], int32(i))
+	}
+	top.ExcludedPairs(add)
+	for _, p := range top.Pairs14 {
+		add(p.I, p.J)
+	}
+	for i := range k.exclOf {
+		l := k.exclOf[i]
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		// Dedupe (a pair listed both as exclusion and 1-4 must not be
+		// scanned twice — the merge scan tolerates duplicates, but the
+		// lists are long-lived, so keep them canonical).
+		out := l[:0]
+		for idx, v := range l {
+			if idx == 0 || v != l[idx-1] {
+				out = append(out, v)
+			}
+		}
+		k.exclOf[i] = out
+	}
+}
+
+// rebuild regenerates the slot maps and per-slot parameters after a
+// migration. subOf must hold the current subbox of every atom. All
+// buffers are reused across migrations; steady state allocates nothing.
+func (k *pairKernel) rebuild(e *Engine) {
+	n := len(e.Pos)
+	ns := e.subGrid.NumBoxes()
+	if k.atomOf == nil {
+		k.atomOf = make([]int32, n)
+		k.slotOf = make([]int32, n)
+		k.subStart = make([]int32, ns+1)
+		k.qK = make([]float64, n)
+		k.q = make([]float64, n)
+		k.ljRow = make([]int32, n)
+		k.ljCol = make([]int32, n)
+		k.pos = make([]fixp.Vec3, n)
+		k.counts = make([]int32, ns)
+	}
+	counts := k.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, sb := range e.subOf {
+		counts[sb]++
+	}
+	slot := int32(0)
+	for b := 0; b < ns; b++ {
+		k.subStart[b] = slot
+		slot += counts[b]
+		counts[b] = k.subStart[b] // reuse as fill cursor
+	}
+	k.subStart[ns] = slot
+	// Atoms scanned in ascending index, so each subbox's slot range is
+	// sorted by atom index — the property the exclusion merge scan needs.
+	for i := 0; i < n; i++ {
+		s := counts[e.subOf[i]]
+		counts[e.subOf[i]]++
+		k.atomOf[s] = int32(i)
+		k.slotOf[i] = s
+	}
+	top := e.Sys.Top
+	for s := 0; s < n; s++ {
+		a := &top.Atoms[k.atomOf[s]]
+		k.qK[s] = ff.CoulombK * a.Charge
+		k.q[s] = a.Charge
+		k.ljRow[s] = int32(a.LJType * e.nTypes)
+		k.ljCol[s] = int32(a.LJType)
+	}
+}
+
+// refreshGather re-reads the gathered fixed-point positions from the
+// canonical per-atom state (cheap sequential writes, once per force
+// evaluation; slot assignments change only at migrations).
+func (k *pairKernel) refreshGather(pos []fixp.Vec3) {
+	for s, a := range k.atomOf {
+		k.pos[s] = pos[a]
+	}
+}
+
+// ensureBatches sizes the per-worker batch queues.
+func (k *pairKernel) ensureBatches(workers int) {
+	for len(k.batches) < workers {
+		var b pairBatch
+		b.init()
+		k.batches = append(k.batches, b)
+	}
+}
+
+// flushPairBatch runs the queued pairs through the batched PPIP
+// evaluation and scatters the results into the worker's slot-indexed
+// force buffer. Pair order inside a worker's chunk is preserved, so the
+// diagnostic float energy sum is reproducible; the quantized forces are
+// order-independent regardless.
+func (e *Engine) flushPairBatch(b *pairBatch, buf []Force3, energy *float64, computed *int64, vir *htis.Virial) {
+	if b.n == 0 {
+		return
+	}
+	out := b.out[:b.n]
+	e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
+	track := e.Cfg.TrackVirial
+	for n := range out {
+		res := &out[n]
+		if !res.Within {
+			continue
+		}
+		*computed++
+		si, sj := b.si[n], b.sj[n]
+		buf[si] = buf[si].AddRaw(res.FX, res.FY, res.FZ)
+		buf[sj] = buf[sj].AddRaw(-res.FX, -res.FY, -res.FZ)
+		*energy += res.Energy
+		if track {
+			// r_ij (x) F_ij in raw position counts and force counts:
+			// wide wrapping accumulation keeps the tensor order-
+			// independent (Figure 4c).
+			d := b.ds[n]
+			vir.Add(res.FX, res.FY, res.FZ,
+				int64(int32(d.X)), int64(int32(d.Y)), int64(int32(d.Z)))
+		}
+	}
+	b.n = 0
+}
+
+// pairChunk processes subbox pairs [lo, hi) as worker w: match-unit
+// prefilter, exclusion merge scan, batched PPIP evaluation. Installed
+// once as Engine.pairChunkFn so the steady-state path allocates nothing.
+func (e *Engine) pairChunk(w, lo, hi int) {
+	k := &e.pk
+	buf := e.workerF[w]
+	b := &k.batches[w]
+	var energy float64
+	var t tally
+	vir := &e.workerVirials[w]
+	// Match-unit thresholds hoisted into locals; the check below is the
+	// MayInteract datapath inlined (per-axis reject, then conservative
+	// low-precision r^2), saving a call and three field loads per pair.
+	shift, limAxis, limR2 := e.mu.Thresholds()
+	pos := k.pos
+	atomOf := k.atomOf
+	for _, bp := range e.subPairs[lo:hi] {
+		aLo, aHi := k.subStart[bp[0]], k.subStart[bp[0]+1]
+		bHi := k.subStart[bp[1]+1]
+		same := bp[0] == bp[1]
+		for si := aLo; si < aHi; si++ {
+			i := atomOf[si]
+			excl := k.exclOf[i]
+			ep := 0
+			pi := pos[si]
+			qKi := k.qK[si]
+			row := k.ljRow[si]
+			sj := k.subStart[bp[1]]
+			if same {
+				sj = si + 1
+			}
+			for ; sj < bHi; sj++ {
+				t.considered++
+				pj := pos[sj]
+				d := fixp.Vec3{X: pi.X - pj.X, Y: pi.Y - pj.Y, Z: pi.Z - pj.Z}
+				dx := int64(int32(d.X) >> shift)
+				if dx < 0 {
+					dx = -dx
+				}
+				dy := int64(int32(d.Y) >> shift)
+				if dy < 0 {
+					dy = -dy
+				}
+				dz := int64(int32(d.Z) >> shift)
+				if dz < 0 {
+					dz = -dz
+				}
+				if dx > limAxis || dy > limAxis || dz > limAxis ||
+					dx*dx+dy*dy+dz*dz > limR2 {
+					continue
+				}
+				t.matched++
+				// Exclusion merge scan: slot order is atom order within a
+				// subbox, so j ascends and the pointer advances linearly.
+				j := atomOf[sj]
+				for ep < len(excl) && excl[ep] < j {
+					ep++
+				}
+				if ep < len(excl) && excl[ep] == j {
+					continue
+				}
+				lj := e.ljPairs[row+k.ljCol[sj]]
+				n := b.n
+				b.ds[n] = d
+				b.params[n] = htis.PairParams{
+					QQ:      qKi * k.q[sj],
+					Sigma:   lj.sigma,
+					Epsilon: lj.eps,
+				}
+				b.si[n] = si
+				b.sj[n] = sj
+				b.n = n + 1
+				if b.n == pairBatchSize {
+					e.flushPairBatch(b, buf, &energy, &t.computed, vir)
+				}
+			}
+		}
+	}
+	e.flushPairBatch(b, buf, &energy, &t.computed, vir)
+	e.workerEnergies[w] = energy
+	e.workerTallies[w] = t
+}
+
+// rangeLimitedForces runs the NT-decomposed HTIS computation: every
+// interacting subbox pair is processed by a worker standing in for its
+// neutral-territory node; match units prefilter, the batched PPIP path
+// computes, forces accumulate in wrapping counts and are reduced in
+// parallel over slot ranges.
+func (e *Engine) rangeLimitedForces() float64 {
+	k := &e.pk
+	k.refreshGather(e.Pos)
+	workers := e.workers()
+	e.forceBuffers(workers, len(k.pos))
+	e.workerAccums(workers)
+	k.ensureBatches(workers)
+	parallelChunks(len(e.subPairs), workers, e.pairChunkFn)
+	e.reduceForces(e.fShort, e.workerF[:workers], k.atomOf, workers)
+	energy := 0.0
+	if e.Cfg.TrackVirial {
+		e.virial = htis.Virial{}
+	}
+	for w := 0; w < workers; w++ {
+		energy += e.workerEnergies[w]
+		t := e.workerTallies[w]
+		e.Stats.PairsConsidered += t.considered
+		e.Stats.PairsMatched += t.matched
+		e.Stats.PairsComputed += t.computed
+		if e.Cfg.TrackVirial {
+			e.virial.Merge(&e.workerVirials[w])
+		}
+	}
+	return energy
+}

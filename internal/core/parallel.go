@@ -3,6 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"anton/internal/htis"
+	"anton/internal/vec"
 )
 
 // The engine parallelizes its force phases across OS threads, mirroring
@@ -57,7 +60,7 @@ func parallelChunks(n, workers int, fn func(worker, lo, hi int)) {
 }
 
 // forceBuffers returns per-worker force accumulators of length n, reusing
-// prior allocations and zeroing them.
+// prior allocations across phases and steps, and zeroing them.
 func (e *Engine) forceBuffers(workers, n int) [][]Force3 {
 	if len(e.workerF) < workers || len(e.workerF) > 0 && len(e.workerF[0]) != n {
 		e.workerF = make([][]Force3, workers)
@@ -74,12 +77,73 @@ func (e *Engine) forceBuffers(workers, n int) [][]Force3 {
 	return e.workerF[:workers]
 }
 
-// mergeForces adds per-worker buffers into dst with wrapping (order-free)
-// accumulation.
-func mergeForces(dst []Force3, bufs [][]Force3) {
-	for _, buf := range bufs {
-		for i := range dst {
-			dst[i] = dst[i].Add(buf[i])
+// workerAccums sizes and zeroes the per-worker energy/tally/virial
+// accumulators, reusing prior allocations.
+func (e *Engine) workerAccums(workers int) {
+	if len(e.workerEnergies) < workers {
+		e.workerEnergies = make([]float64, workers)
+		e.workerTallies = make([]tally, workers)
+		e.workerVirials = make([]htis.Virial, workers)
+	}
+	for w := 0; w < workers; w++ {
+		e.workerEnergies[w] = 0
+		e.workerTallies[w] = tally{}
+		e.workerVirials[w] = htis.Virial{}
+	}
+}
+
+// scratchBuffers returns per-worker float force scratch of length n for
+// the bonded kernels, reusing prior allocations. The buffers rely on the
+// sparse-zeroing invariant: every consumer restores touched entries to
+// vec.Zero, so they are zeroed only when (re)allocated.
+func (e *Engine) scratchBuffers(workers, n int) [][]vec.V3 {
+	if len(e.workerScratch) < workers || len(e.workerScratch) > 0 && len(e.workerScratch[0]) != n {
+		e.workerScratch = make([][]vec.V3, workers)
+		for w := range e.workerScratch {
+			e.workerScratch[w] = make([]vec.V3, n)
 		}
+	}
+	return e.workerScratch[:workers]
+}
+
+// forceReduction stages the arguments of an in-flight reduceForces call
+// for the preallocated chunk closure (avoiding a per-call closure
+// allocation on the steady-state step path).
+type forceReduction struct {
+	dst        []Force3
+	bufs       [][]Force3
+	slotToAtom []int32
+}
+
+// reduceForces adds per-worker buffers into dst, parallelized over index
+// ranges. Each range sums every worker's buffer in fixed worker order —
+// wrapping fixed-point addition makes the result exact and identical for
+// any worker count (and any order, but a fixed order keeps the code
+// honest). If slotToAtom is non-nil, buffer index s contributes to
+// dst[slotToAtom[s]]; the map is a bijection, so ranges never collide.
+func (e *Engine) reduceForces(dst []Force3, bufs [][]Force3, slotToAtom []int32, workers int) {
+	e.redu = forceReduction{dst: dst, bufs: bufs, slotToAtom: slotToAtom}
+	parallelChunks(len(dst), workers, e.reduceChunkFn)
+	e.redu = forceReduction{}
+}
+
+// reduceChunk reduces dst indices [lo, hi) of the staged reduction.
+func (e *Engine) reduceChunk(_, lo, hi int) {
+	dst, bufs, slotToAtom := e.redu.dst, e.redu.bufs, e.redu.slotToAtom
+	if slotToAtom == nil {
+		for _, buf := range bufs {
+			for i := lo; i < hi; i++ {
+				dst[i] = dst[i].Add(buf[i])
+			}
+		}
+		return
+	}
+	for s := lo; s < hi; s++ {
+		f := bufs[0][s]
+		for w := 1; w < len(bufs); w++ {
+			f = f.Add(bufs[w][s])
+		}
+		a := slotToAtom[s]
+		dst[a] = dst[a].Add(f)
 	}
 }

@@ -1,0 +1,107 @@
+package htis
+
+import (
+	"math/rand"
+	"testing"
+
+	"anton/internal/fixp"
+	"anton/internal/vec"
+)
+
+// randomPairStream samples displacements spanning inside-core, in-range
+// and beyond-cutoff distances, with a mix of charged, LJ and combined
+// parameter sets — every branch of the pair datapath.
+func randomPairStream(n int, seed int64) ([]fixp.Vec3, []PairParams) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make([]fixp.Vec3, n)
+	params := make([]PairParams, n)
+	for i := range ds {
+		r := rng.Float64() * 16 // Å; cutoff is 13
+		dir := vec.V3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Unit()
+		ds[i] = fixp.Vec3FromFloat(dir.Scale(r / 64))
+		p := PairParams{QQ: (rng.Float64()*2 - 1) * 100}
+		if rng.Intn(3) > 0 {
+			p.Sigma = 2.5 + rng.Float64()
+			p.Epsilon = rng.Float64() * 0.3
+		}
+		if rng.Intn(8) == 0 {
+			p.QQ = 0
+		}
+		params[i] = p
+	}
+	return ds, params
+}
+
+func TestPairForceBatchBitwiseMatchesScalar(t *testing.T) {
+	// The batched entry point is the same datapath as the scalar one; the
+	// engine's trajectory must not depend on how pairs are grouped into
+	// batches, so every result must be bitwise identical.
+	p := newTestPipeline(t)
+	ds, params := randomPairStream(5000, 83)
+	out := make([]PairResult, len(ds))
+	p.PairForceBatch(ds, params, out)
+	for i := range ds {
+		want := p.PairForce(ds[i], params[i])
+		if out[i] != want {
+			t.Fatalf("pair %d: batch %+v != scalar %+v", i, out[i], want)
+		}
+	}
+}
+
+func TestPairForceBatchSplitInvariant(t *testing.T) {
+	// Splitting one stream into arbitrary sub-batches must not change any
+	// result (the engine flushes at a fixed queue depth, but correctness
+	// must not depend on where the boundaries fall).
+	p := newTestPipeline(t)
+	ds, params := randomPairStream(1000, 89)
+	whole := make([]PairResult, len(ds))
+	p.PairForceBatch(ds, params, whole)
+	split := make([]PairResult, len(ds))
+	rng := rand.New(rand.NewSource(97))
+	for lo := 0; lo < len(ds); {
+		hi := lo + 1 + rng.Intn(200)
+		if hi > len(ds) {
+			hi = len(ds)
+		}
+		p.PairForceBatch(ds[lo:hi], params[lo:hi], split[lo:hi])
+		lo = hi
+	}
+	for i := range whole {
+		if whole[i] != split[i] {
+			t.Fatalf("pair %d: split batch %+v != whole batch %+v", i, split[i], whole[i])
+		}
+	}
+}
+
+func TestPairForceBatchLengthMismatchPanics(t *testing.T) {
+	p := newTestPipeline(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slice lengths did not panic")
+		}
+	}()
+	p.PairForceBatch(make([]fixp.Vec3, 4), make([]PairParams, 4), make([]PairResult, 3))
+}
+
+func TestMatchUnitThresholdsInlineEquivalent(t *testing.T) {
+	// Thresholds exists so hot loops can inline the check; the inlined
+	// arithmetic must agree with MayInteract on every input.
+	mu := NewMatchUnit(64, 13, 8)
+	shift, limAxis, limR2 := mu.Thresholds()
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 200000; i++ {
+		d := fixp.Vec3FromFloat(vec.V3{
+			X: (rng.Float64()*2 - 1) * 0.5,
+			Y: (rng.Float64()*2 - 1) * 0.5,
+			Z: (rng.Float64()*2 - 1) * 0.5,
+		})
+		dx := absInt(int64(int32(d.X) >> shift))
+		dy := absInt(int64(int32(d.Y) >> shift))
+		dz := absInt(int64(int32(d.Z) >> shift))
+		inline := dx <= limAxis && dy <= limAxis && dz <= limAxis &&
+			dx*dx+dy*dy+dz*dz <= limR2
+		if inline != mu.MayInteract(d) {
+			t.Fatalf("inline check disagrees with MayInteract for %+v", d)
+		}
+	}
+}

@@ -72,6 +72,13 @@ func (m *MatchUnit) MayInteract(d fixp.Vec3) bool {
 	return dx*dx+dy*dy+dz*dz <= m.limR2
 }
 
+// Thresholds exposes the low-precision datapath constants so a hot pair
+// loop can hoist them into registers and perform the check inline;
+// callers must apply exactly the MayInteract arithmetic.
+func (m *MatchUnit) Thresholds() (shift uint, limAxis, limR2 int64) {
+	return m.shift, m.limAxis, m.limR2
+}
+
 func absInt(x int64) int64 {
 	if x < 0 {
 		return -x

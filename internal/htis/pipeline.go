@@ -41,6 +41,30 @@ type Pipeline struct {
 	LJ6     *ppip.Table // x^-4 kernel
 	ElecE   *ppip.Table // erfc energy kernel (diagnostics)
 	MinDist float64     // clamp radius used when building the tables
+
+	// Per-pipeline constants hoisted out of the per-pair datapath (the
+	// hardware bakes these into the table build and datapath wiring; the
+	// software model must not pay an Erfc and several Pow calls per pair).
+	rc2       float64 // Cutoff^2
+	l2        float64 // BoxL^2
+	eShift    float64 // Erfc(Cutoff/(sqrt2*Sigma))/Cutoff: elec energy shift
+	invR6     float64 // Cutoff^-6
+	invR8     float64 // Cutoff^-8
+	invR12 float64 // Cutoff^-12
+	invR14 float64 // Cutoff^-14
+}
+
+// initConsts populates the hoisted per-pair constants.
+func (p *Pipeline) initConsts() {
+	p.rc2 = p.Cutoff * p.Cutoff
+	p.l2 = p.BoxL * p.BoxL
+	p.eShift = math.Erfc(p.Cutoff/(math.Sqrt2*p.Split.Sigma)) / p.Cutoff
+	r2 := p.Cutoff * p.Cutoff
+	r6 := r2 * r2 * r2
+	p.invR6 = 1 / r6
+	p.invR8 = 1 / (r6 * r2)
+	p.invR12 = 1 / (r6 * r6)
+	p.invR14 = 1 / (r6 * r6 * r2)
 }
 
 // NewPipeline builds the PPIP tables for the given box, cutoff and Ewald
@@ -61,6 +85,7 @@ func NewPipeline(boxL float64, split ewald.Split) (*Pipeline, error) {
 	if p.ElecE, err = ppip.Build(ppip.ErfcEnergyFunc(split.Sigma, split.Cutoff, rmin), ppip.PaperScheme, 22); err != nil {
 		return nil, err
 	}
+	p.initConsts()
 	return p, nil
 }
 
@@ -79,46 +104,75 @@ type PairResult struct {
 	Within     bool    // pair was inside the cutoff
 }
 
+// pairForceOne is the per-pair PPIP datapath shared by the scalar and
+// batched entry points: both are bitwise identical by construction.
+func (p *Pipeline) pairForceOne(d fixp.Vec3, params PairParams, res *PairResult) {
+	// r^2 in box fractions, computed exactly in fixed point.
+	r2frac := d.Dot(d).Float()
+	r2 := r2frac * p.l2
+	if r2 > p.rc2 || r2 == 0 {
+		*res = PairResult{}
+		return
+	}
+	x := r2 / p.rc2
+
+	// All four tables are built on the same tiered scheme with the same
+	// TBits (NewPipeline), so the segment lookup and local-coordinate
+	// quantization are shared — one Locate feeds every kernel, as one
+	// distance computation feeds all function units in the hardware PPIP.
+	seg, tq := p.Elec.Locate(x)
+
+	fScale := params.QQ * p.Elec.EvaluateAt(seg, tq)
+	// Potential-shifted energies (V(r) - V(rc)): the truncated force
+	// field's true potential, so energy drift reflects the integrator.
+	energy := params.QQ * (p.ElecE.EvaluateAt(seg, tq) - p.eShift)
+	if params.Epsilon != 0 {
+		t12 := p.LJ12.EvaluateAt(seg, tq)
+		t6 := p.LJ6.EvaluateAt(seg, tq)
+		// LJ force and energy from the same tabulated kernels, with all
+		// cutoff powers precomputed (pure multiplies per pair):
+		// F-scale = 24*eps*(2*sigma^12/R^14 * t12 - sigma^6/R^8 * t6)
+		// V = 4*eps*(sigma^12/R^12 * t12*x - sigma^6/R^6 * t6*x),
+		// shifted by V(rc).
+		s2 := params.Sigma * params.Sigma
+		s6 := s2 * s2 * s2
+		s12 := s6 * s6
+		fScale += 24 * params.Epsilon * (2*s12*p.invR14*t12 - s6*p.invR8*t6)
+		energy += 4*params.Epsilon*(s12*p.invR12*t12*x-s6*p.invR6*t6*x) -
+			4*params.Epsilon*(s12*p.invR12-s6*p.invR6)
+	}
+
+	df := d.Float()
+	res.FX = QuantizeForce(fScale * df.X * p.BoxL)
+	res.FY = QuantizeForce(fScale * df.Y * p.BoxL)
+	res.FZ = QuantizeForce(fScale * df.Z * p.BoxL)
+	res.Energy = energy
+	res.Within = true
+}
+
 // PairForce evaluates the range-limited interaction for the pair whose
 // fixed-point minimum-image displacement is d = r_i - r_j (box
 // fractions). The result depends only on (d, params) — not on which node
 // evaluates it — which together with wrapping force accumulation yields
-// Anton's parallel invariance.
+// Anton's parallel invariance. It is a thin wrapper over the batched
+// datapath of PairForceBatch.
 func (p *Pipeline) PairForce(d fixp.Vec3, params PairParams) PairResult {
-	// r^2 in box fractions, computed exactly in fixed point.
-	r2frac := d.Dot(d).Float()
-	r2 := r2frac * p.BoxL * p.BoxL
-	rc2 := p.Cutoff * p.Cutoff
-	if r2 > rc2 || r2 == 0 {
-		return PairResult{}
-	}
-	x := r2 / rc2
+	var res PairResult
+	p.pairForceOne(d, params, &res)
+	return res
+}
 
-	fScale := params.QQ * p.Elec.Evaluate(x)
-	// Potential-shifted energies (V(r) - V(rc)): the truncated force
-	// field's true potential, so energy drift reflects the integrator.
-	energy := params.QQ * (p.ElecE.Evaluate(x) - math.Erfc(p.Cutoff/(math.Sqrt2*p.Split.Sigma))/p.Cutoff)
-	if params.Epsilon != 0 {
-		t12 := p.LJ12.Evaluate(x)
-		t6 := p.LJ6.Evaluate(x)
-		fScale += ppip.CombineLJ(t12, t6, params.Sigma, params.Epsilon, p.Cutoff)
-		// LJ energy from the same tabulated kernels:
-		// V = 4*eps*(sigma^12/R^12 * x^-6 - sigma^6/R^6 * x^-3)
-		//   = 4*eps*(sigma^12/R^12 * t12*x - sigma^6/R^6 * t6*x),
-		// shifted by V(rc).
-		s6 := math.Pow(params.Sigma, 6)
-		r6 := math.Pow(p.Cutoff, 6)
-		energy += 4*params.Epsilon*(s6*s6/(r6*r6)*t12*x-s6/r6*t6*x) -
-			4*params.Epsilon*(s6*s6/(r6*r6)-s6/r6)
+// PairForceBatch evaluates a batch of pairs: out[k] receives the result
+// for (ds[k], params[k]). Batching models the PPIP array's streaming
+// operation — parameters and displacements arrive as a queue and results
+// leave as a queue — and amortizes per-call overhead in the software
+// model. Results are bitwise identical to calling PairForce per element.
+func (p *Pipeline) PairForceBatch(ds []fixp.Vec3, params []PairParams, out []PairResult) {
+	if len(params) != len(ds) || len(out) != len(ds) {
+		panic("htis: PairForceBatch slice length mismatch")
 	}
-
-	df := d.Float()
-	return PairResult{
-		FX:     QuantizeForce(fScale * df.X * p.BoxL),
-		FY:     QuantizeForce(fScale * df.Y * p.BoxL),
-		FZ:     QuantizeForce(fScale * df.Z * p.BoxL),
-		Energy: energy,
-		Within: true,
+	for k := range ds {
+		p.pairForceOne(ds[k], params[k], &out[k])
 	}
 }
 

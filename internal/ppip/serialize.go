@@ -114,5 +114,6 @@ func ReadTable(r io.Reader) (*Table, error) {
 		seg.Exp = int(exp)
 		t.Segments = append(t.Segments, seg)
 	}
+	t.initScale()
 	return t, nil
 }

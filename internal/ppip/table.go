@@ -79,6 +79,23 @@ type Table struct {
 	// FloatCoeffs retains the continuous (pre-quantization) piecewise
 	// coefficients for error analysis.
 	FloatCoeffs [][4]float64
+
+	// scale caches 2^Exp / 2^(MantissaBits-1) per segment so Evaluate
+	// applies the block exponent with one multiply instead of a Exp2 call
+	// per evaluation. Both factors are exact powers of two, so the cached
+	// product is bit-identical to computing them on the fly.
+	scale []float64
+}
+
+// initScale (re)builds the per-segment output scale cache. Build and the
+// deserializer call it; Evaluate falls back to the explicit computation
+// for tables constructed by hand without it.
+func (t *Table) initScale() {
+	half := float64(int64(1) << (t.MantissaBits - 1))
+	t.scale = make([]float64, len(t.Segments))
+	for i := range t.Segments {
+		t.scale[i] = math.Exp2(float64(t.Segments[i].Exp)) / half
+	}
 }
 
 // Build fits the function f over [0,1) with per-segment minimax cubics,
@@ -139,6 +156,7 @@ func Build(f func(x float64) float64, scheme Scheme, mantissaBits uint) (*Table,
 	for i := range t.Segments {
 		t.quantizeSegment(i)
 	}
+	t.initScale()
 	return t, nil
 }
 
@@ -199,25 +217,42 @@ func (t *Table) segmentIndex(x float64) int {
 // applied at the end. This is bit-faithful to the narrow-datapath
 // evaluation style of Figure 4a.
 func (t *Table) Evaluate(x float64) float64 {
-	seg := &t.Segments[t.segmentIndex(x)]
-	w := seg.Hi - seg.Lo
-	tt := (x - seg.Lo) / w
+	seg, tq := t.Locate(x)
+	return t.EvaluateAt(seg, tq)
+}
+
+// Locate returns the segment index and the TBits-quantized local
+// coordinate of x. The location depends only on the scheme and TBits, so
+// a caller evaluating several kernels of the same x through tables built
+// on the same scheme (as the PPIP's electrostatic and LJ tables are) can
+// pay the tiered index lookup once and reuse it via EvaluateAt.
+func (t *Table) Locate(x float64) (seg int, tq int64) {
+	i := t.segmentIndex(x)
+	s := &t.Segments[i]
+	tt := (x - s.Lo) / (s.Hi - s.Lo)
 	if tt < 0 {
 		tt = 0
 	} else if tt >= 1 {
 		tt = math.Nextafter(1, 0)
 	}
 	// Quantize t to TBits fraction bits.
-	tq := int64(math.RoundToEven(tt * float64(int64(1)<<t.TBits)))
-	// Horner in integer arithmetic: acc and mantissas carry
-	// MantissaBits-1 fraction bits; each multiply by tq adds TBits, which
-	// RoundShift removes.
-	acc := seg.Mantissa[3]
-	for j := 2; j >= 0; j-- {
-		acc = fixp.RoundShift(acc*tq, t.TBits) + seg.Mantissa[j]
+	return i, int64(math.RoundToEven(tt * float64(int64(1)<<t.TBits)))
+}
+
+// EvaluateAt computes the table polynomial at a location obtained from
+// Locate on a table with an identical scheme and TBits. Horner in
+// integer arithmetic: acc and mantissas carry MantissaBits-1 fraction
+// bits; each multiply by tq adds TBits, which RoundShift removes.
+func (t *Table) EvaluateAt(seg int, tq int64) float64 {
+	s := &t.Segments[seg]
+	acc := fixp.RoundShift(s.Mantissa[3]*tq, t.TBits) + s.Mantissa[2]
+	acc = fixp.RoundShift(acc*tq, t.TBits) + s.Mantissa[1]
+	acc = fixp.RoundShift(acc*tq, t.TBits) + s.Mantissa[0]
+	if seg < len(t.scale) {
+		return float64(acc) * t.scale[seg]
 	}
 	half := float64(int64(1) << (t.MantissaBits - 1))
-	return float64(acc) / half * math.Exp2(float64(seg.Exp))
+	return float64(acc) / half * math.Exp2(float64(s.Exp))
 }
 
 // EvaluateFloat computes f(x) from the continuous piecewise coefficients

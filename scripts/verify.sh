@@ -1,0 +1,18 @@
+#!/bin/sh
+# Verification gate for the parallel force path: static analysis plus the
+# race detector over the packages that share mutable per-worker state
+# (force buffers, batch queues, reduction staging). Run before merging
+# changes to the engine's parallel sections.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== race: core + htis =="
+# -short skips the long soak tests; the invariance and reduction tests
+# that exercise every parallel section still run.
+go test -race -short ./internal/core ./internal/htis
+
+echo "verify: OK"
