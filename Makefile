@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair
+.PHONY: build test test-short verify bench-pair profile
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ test-short:
 # mutable state (see scripts/verify.sh).
 verify:
 	sh scripts/verify.sh
+
+# Instrumented demo run: per-phase metrics to metrics.json plus a live
+# pprof endpoint, then the measured-vs-predicted profile experiment.
+profile:
+	$(GO) run ./cmd/antonsim -system small -steps 200 \
+		-metrics metrics.json -pprof localhost:6060
+	$(GO) run ./cmd/antonbench -experiment profile
 
 # The pair-kernel benchmarks backing BENCH_pairkernel.json.
 bench-pair:

@@ -86,6 +86,13 @@ var registry = []experiment{
 	}},
 	{"ablation-mesh", false, func(bool) (string, error) { return experiments.AblationGSEvsSPME() }},
 	{"ablation-nt", false, func(bool) (string, error) { return experiments.AblationNTvsHalfShell() }},
+	{"profile", true, func(full bool) (string, error) {
+		steps := 40
+		if full {
+			steps = 400
+		}
+		return experiments.ProfileMeasured(steps)
+	}},
 	{"bpti", true, func(full bool) (string, error) {
 		steps := 6
 		if full {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	antonsim -system gpW -nodes 8 -steps 50
+//	antonsim -system small -steps 200 -metrics metrics.json -pprof localhost:6060
 //	antonsim -list
 package main
 
@@ -14,26 +15,40 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"anton/internal/core"
 	"anton/internal/machine"
+	"anton/internal/obs"
 	"anton/internal/system"
 	"anton/internal/trace"
 )
 
 func main() {
 	var (
-		name  = flag.String("system", "gpW", "named system (see -list) or 'small'")
-		nodes = flag.Int("nodes", 8, "Anton node count to simulate (power of two)")
-		steps = flag.Int("steps", 20, "time steps to run")
-		temp  = flag.Float64("temp", 300, "thermostat target temperature, K (0 = NVE)")
-		list  = flag.Bool("list", false, "list available systems and exit")
-		every = flag.Int("report", 10, "report energies every N steps")
-		pdb   = flag.String("pdb", "", "write the final snapshot as a PDB file")
-		comm  = flag.Bool("comm", false, "print the per-step communication report")
+		name    = flag.String("system", "gpW", "named system (see -list) or 'small'")
+		nodes   = flag.Int("nodes", 8, "Anton node count to simulate (power of two)")
+		steps   = flag.Int("steps", 20, "time steps to run")
+		temp    = flag.Float64("temp", 300, "thermostat target temperature, K (0 = NVE)")
+		list    = flag.Bool("list", false, "list available systems and exit")
+		every   = flag.Int("report", 10, "report energies every N steps")
+		pdb     = flag.String("pdb", "", "write the final snapshot as a PDB file")
+		comm    = flag.Bool("comm", false, "print the per-step communication report")
+		metrics = flag.String("metrics", "", "write the observability snapshot as JSON to this file (and print the text report)")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAt)
+	}
 
 	if *list {
 		fmt.Println("available systems:")
@@ -74,6 +89,13 @@ func main() {
 	rng := rand.New(rand.NewSource(2))
 	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 
+	var rec *obs.Recorder
+	if *metrics != "" {
+		rec = obs.NewRecorder()
+		rec.EnableMemStats()
+		eng.Observe(rec)
+	}
+
 	fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
 	for done := 0; done < *steps; {
 		n := *every
@@ -94,6 +116,25 @@ func main() {
 	fmt.Printf("  match efficiency: %.1f%%\n", st.MatchEfficiency()*100)
 	fmt.Printf("  atom-mesh interactions: %d\n", st.MeshInteractions)
 	fmt.Printf("  migrations: %d\n", st.Migrations)
+
+	if rec != nil {
+		snap := rec.Snapshot()
+		fmt.Printf("\n%s", snap)
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metrics)
+	}
 
 	if *comm {
 		rep, err := eng.Comm()

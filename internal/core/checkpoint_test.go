@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -41,10 +43,10 @@ func TestCheckpointRejectsMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt the magic.
-	data := buf.Bytes()
+	data := append([]byte(nil), buf.Bytes()...)
 	data[0] ^= 0xff
-	if err := a.RestoreCheckpoint(bytes.NewReader(data)); err == nil {
-		t.Error("corrupt checkpoint accepted")
+	if err := a.RestoreCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrCheckpointMagic) {
+		t.Errorf("bad magic: got %v, want ErrCheckpointMagic", err)
 	}
 	// Wrong system size.
 	ion := ionicEngine(t, 8, nil)
@@ -52,7 +54,153 @@ func TestCheckpointRejectsMismatch(t *testing.T) {
 	if err := ion.WriteCheckpoint(&buf2); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.RestoreCheckpoint(&buf2); err == nil {
-		t.Error("checkpoint from a different system accepted")
+	if err := a.RestoreCheckpoint(bytes.NewReader(buf2.Bytes())); !errors.Is(err, ErrCheckpointConfig) {
+		t.Errorf("different system: got %v, want ErrCheckpointConfig", err)
+	}
+}
+
+// TestCheckpointCorruptionMatrix exercises every distinct rejection
+// path of the version-2 format: truncation at each field boundary,
+// single-bit corruption, trailing garbage, an unknown version, and a
+// configuration drift — and checks that every failed restore leaves the
+// engine state untouched.
+func TestCheckpointCorruptionMatrix(t *testing.T) {
+	e := smallWaterEngine(t, 8, nil)
+	e.Step(5)
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	n := len(e.Pos)
+
+	// The fresh engine all restores are attempted into, plus its
+	// reference state to verify failed restores are side-effect free.
+	target := smallWaterEngine(t, 8, nil)
+	refPos, refVel := target.Snapshot()
+	checkUntouched := func(t *testing.T) {
+		t.Helper()
+		p, v := target.Snapshot()
+		for i := range p {
+			if p[i] != refPos[i] || v[i] != refVel[i] {
+				t.Fatalf("failed restore mutated engine state at atom %d", i)
+			}
+		}
+	}
+
+	// Field-boundary offsets in the v2 layout.
+	const (
+		afterMagicVer = 8
+		afterHeader   = ckptHeaderLen
+		afterFP       = ckptHeaderLen + ckptFingerprintLen
+		afterStep     = ckptHeaderLen + ckptFingerprintLen + 8
+		afterEnergy   = ckptHeaderLen + ckptFingerprintLen + 16
+	)
+	truncations := map[string]int{
+		"empty":             0,
+		"mid-magic":         3,
+		"after-magic-ver":   afterMagicVer,
+		"after-header":      afterHeader,
+		"after-fingerprint": afterFP,
+		"after-step":        afterStep,
+		"after-energy":      afterEnergy,
+		"mid-positions":     afterEnergy + n*12/2,
+		"after-positions":   afterEnergy + n*12,
+		"missing-crc":       len(good) - ckptCRCLen,
+		"partial-crc":       len(good) - 1,
+	}
+	for name, cut := range truncations {
+		t.Run("truncate-"+name, func(t *testing.T) {
+			err := target.RestoreCheckpoint(bytes.NewReader(good[:cut]))
+			if !errors.Is(err, ErrCheckpointTruncated) {
+				t.Errorf("truncation at %d: got %v, want ErrCheckpointTruncated", cut, err)
+			}
+			checkUntouched(t)
+		})
+	}
+
+	t.Run("flipped-byte", func(t *testing.T) {
+		for _, off := range []int{afterHeader + 3, afterEnergy + 5, len(good) - 20} {
+			data := append([]byte(nil), good...)
+			data[off] ^= 0x40
+			err := target.RestoreCheckpoint(bytes.NewReader(data))
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Errorf("flip at %d: got %v, want ErrCheckpointCorrupt", off, err)
+			}
+			checkUntouched(t)
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		data := append(append([]byte(nil), good...), 0xde, 0xad)
+		err := target.RestoreCheckpoint(bytes.NewReader(data))
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("got %v, want ErrCheckpointCorrupt", err)
+		}
+		checkUntouched(t)
+	})
+
+	t.Run("future-version", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(data[4:], 99)
+		err := target.RestoreCheckpoint(bytes.NewReader(data))
+		if !errors.Is(err, ErrCheckpointVersion) {
+			t.Errorf("got %v, want ErrCheckpointVersion", err)
+		}
+		checkUntouched(t)
+	})
+
+	t.Run("wrong-dt", func(t *testing.T) {
+		other := smallWaterEngine(t, 8, func(c *Config) { c.Dt = c.Dt / 2 })
+		err := other.RestoreCheckpoint(bytes.NewReader(good))
+		if !errors.Is(err, ErrCheckpointConfig) {
+			t.Errorf("got %v, want ErrCheckpointConfig", err)
+		}
+	})
+}
+
+// TestCheckpointReadsVersion1 hand-crafts a legacy version-1 file (no
+// fingerprint, no checksum) and checks it still restores exactly.
+func TestCheckpointReadsVersion1(t *testing.T) {
+	src := smallWaterEngine(t, 8, nil)
+	src.Step(7)
+
+	var buf bytes.Buffer
+	w := func(v interface{}) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w([]uint32{checkpointMagic, 1, uint32(len(src.Pos))})
+	w(int64(src.step))
+	w(src.longRangeEnergy)
+	for _, p := range src.Pos {
+		w([3]int32{int32(p.X), int32(p.Y), int32(p.Z)})
+	}
+	for _, v := range src.Vel {
+		w([3]int64{v.X, v.Y, v.Z})
+	}
+	for _, f := range src.fShort {
+		w([3]int64{f.X, f.Y, f.Z})
+	}
+	for _, f := range src.fLong {
+		w([3]int64{f.X, f.Y, f.Z})
+	}
+
+	dst := smallWaterEngine(t, 8, nil)
+	if err := dst.RestoreCheckpoint(&buf); err != nil {
+		t.Fatalf("version-1 restore: %v", err)
+	}
+	if dst.StepCount() != 7 {
+		t.Fatalf("restored step count %d, want 7", dst.StepCount())
+	}
+	src.Step(5)
+	dst.Step(5)
+	pa, va := src.Snapshot()
+	pb, vb := dst.Snapshot()
+	for i := range pa {
+		if pa[i] != pb[i] || va[i] != vb[i] {
+			t.Fatalf("v1-restored trajectory diverged at atom %d", i)
+		}
 	}
 }

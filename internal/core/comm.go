@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"anton/internal/fft"
@@ -64,15 +65,31 @@ func (e *Engine) Comm() (*CommReport, error) {
 		}
 	})
 
-	// Position import: each box multicasts its atoms to its importers.
+	// Canonical iteration order: map range order varies run to run, and
+	// both torus.Multicast's first-hop direction dedup and the per-channel
+	// accounting are order-sensitive, so boxes and destination lists are
+	// sorted before any traffic is injected — two Comm() calls on the same
+	// decomposition produce identical reports.
+	boxes := make([]int32, 0, len(importers))
+	for box := range importers {
+		boxes = append(boxes, box)
+	}
+	sort.Slice(boxes, func(a, b int) bool { return boxes[a] < boxes[b] })
+	dstsOf := make(map[int32][]int, len(importers))
 	for box, nodes := range importers {
-		var dsts []int
+		dsts := make([]int, 0, len(nodes))
 		for nd := range nodes {
 			dsts = append(dsts, int(nd))
 		}
+		sort.Ints(dsts)
+		dstsOf[box] = dsts
+	}
+
+	// Position import: each box multicasts its atoms to its importers.
+	for _, box := range boxes {
 		atoms := len(e.boxAtoms[box])
 		for a := 0; a < atoms; a++ {
-			net.Multicast(int(box), dsts, posBytes)
+			net.Multicast(int(box), dstsOf[box], posBytes)
 		}
 	}
 	rep.ImportStats = net.Collect()
@@ -80,11 +97,11 @@ func (e *Engine) Comm() (*CommReport, error) {
 	net.Reset()
 
 	// Force export: the same volume flows back as unicast.
-	for box, nodes := range importers {
+	for _, box := range boxes {
 		atoms := len(e.boxAtoms[box])
-		for nd := range nodes {
+		for _, nd := range dstsOf[box] {
 			for a := 0; a < atoms; a++ {
-				net.Send(int(nd), int(box), forceBytes)
+				net.Send(nd, int(box), forceBytes)
 			}
 		}
 	}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCommDeterministic guards the map-iteration bug class: the importer
+// sets are built in Go maps, whose range order varies between identical
+// calls, and both torus.Multicast's first-hop direction choice and the
+// per-channel byte accounting are order-sensitive. Comm must canonicalize
+// the traversal so two calls on the same decomposition agree exactly.
+func TestCommDeterministic(t *testing.T) {
+	e := smallWaterEngine(t, 8, nil)
+	a, err := e.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := e.Comm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Comm() call %d differs:\nfirst: %+v\nlater: %+v", i+2, a, b)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"anton/internal/htis"
 	"anton/internal/machine"
 	"anton/internal/nt"
+	"anton/internal/obs"
 	"anton/internal/system"
 	"anton/internal/vec"
 )
@@ -67,8 +68,9 @@ type Stats struct {
 	Migrations       int
 }
 
-// tally accumulates one worker's pair statistics during a force phase.
-type tally struct{ considered, matched, computed int64 }
+// tally is one worker's pair-statistics accumulator (the HTIS observation
+// counters, shared with the observability layer).
+type tally = htis.PairStats
 
 // MatchEfficiency returns computed/considered, the hardware utilization
 // figure of Table 3.
@@ -129,10 +131,10 @@ type Engine struct {
 	groupConstraints [][]int
 
 	// Per-worker accumulation state, reused across phases and steps.
-	workerF        [][]Force3   // force buffers
-	workerScratch  [][]vec.V3   // bonded-force float scratch (sparsely zeroed)
-	workerEnergies []float64    // per-worker energy partials
-	workerTallies  []tally      // per-worker pair statistics
+	workerF        [][]Force3 // force buffers
+	workerScratch  [][]vec.V3 // bonded-force float scratch (sparsely zeroed)
+	workerEnergies []float64  // per-worker energy partials
+	workerTallies  []tally    // per-worker pair statistics
 	workerVirials  []htis.Virial
 
 	// Preallocated chunk closures for the steady-state phases (a closure
@@ -162,6 +164,12 @@ type Engine struct {
 	nTypes  int
 
 	mu *htis.MatchUnit
+
+	// rec is the optional observability registry (nil = disabled). It is
+	// strictly read-only with respect to dynamics state: the trajectory is
+	// bitwise identical with observability on or off, and the disabled
+	// path costs one nil check per phase — never per pair.
+	rec *obs.Recorder
 
 	Stats Stats
 
@@ -371,12 +379,44 @@ func (e *Engine) Snapshot() ([]fixp.Vec3, []Vel3) {
 // StepCount returns the completed step count.
 func (e *Engine) StepCount() int { return e.step }
 
+// Observe attaches an observability registry. Pass nil to detach. Must be
+// called between Step calls (the recorder is read by worker goroutines
+// during a step); attaching or detaching never perturbs the trajectory.
+func (e *Engine) Observe(r *obs.Recorder) { e.rec = r }
+
+// Recorder returns the attached observability registry (nil if detached).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
+
+// MigrationSlack returns the residency slack: how far an atom may drift
+// from its assigned subbox between migrations before correctness demands
+// an early re-migration. Diagnostics compare the measured per-interval
+// drift (trace.MaxDisplacementPBC) against this margin.
+func (e *Engine) MigrationSlack() float64 { return e.subSlack }
+
+// obsNow returns the observability clock, or 0 with observability off.
+// The nil check is the entire cost of the disabled path.
+func (e *Engine) obsNow() int64 {
+	if e.rec == nil {
+		return 0
+	}
+	return e.rec.Now()
+}
+
+// obsPhase closes a timed phase opened at t0 = obsNow().
+func (e *Engine) obsPhase(p obs.Phase, t0 int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.AddPhase(p, e.rec.Now()-t0)
+}
+
 // migrate reassigns constraint groups to home boxes based on the group
 // leader's current position (§3.2.4: all atoms of a constraint group
 // reside on the same node, which takes full responsibility for them),
 // then rebuilds the pair kernel's slot-indexed gather. Reads the decoded
 // position cache, which callers keep in sync with e.Pos.
 func (e *Engine) migrate() {
+	t0 := e.obsNow()
 	n := e.grid.NumBoxes()
 	if e.boxAtoms == nil {
 		e.boxAtoms = make([][]int32, n)
@@ -419,6 +459,10 @@ func (e *Engine) migrate() {
 	}
 	e.pk.rebuild(e)
 	e.Stats.Migrations++
+	if e.rec != nil {
+		e.rec.Add(obs.CtrMigrations, 1)
+		e.obsPhase(obs.PhaseMigration, t0)
+	}
 }
 
 // Step advances n time steps.
@@ -451,6 +495,7 @@ func (e *Engine) stepOnce() {
 	withLongNow := e.step%e.Cfg.MTSInterval == 0
 
 	// First half kick.
+	t0 := e.obsNow()
 	for i, a := range top.Atoms {
 		if a.Mass == 0 {
 			continue
@@ -474,31 +519,41 @@ func (e *Engine) stepOnce() {
 			Z: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Z) * cd))),
 		})
 	}
+	e.obsPhase(obs.PhaseIntegration, t0)
 	// Constraints (SHAKE) per group, then virtual sites.
+	t0 = e.obsNow()
 	e.shakeFixed(oldPos, dt)
 	e.placeVSitesFixed()
+	e.obsPhase(obs.PhaseConstraints, t0)
 
 	e.step++
 	withLongNext := e.step%e.Cfg.MTSInterval == 0
 	e.computeForces(withLongNext)
 
 	// Second half kick.
+	t0 = e.obsNow()
 	for i, a := range top.Atoms {
 		if a.Mass == 0 {
 			continue
 		}
 		e.kick(i, a.Mass, dt/2, withLongNext)
 	}
+	e.obsPhase(obs.PhaseIntegration, t0)
+	t0 = e.obsNow()
 	e.rattleFixed()
 	if e.Cfg.TauT > 0 {
 		e.berendsenFixed()
 	}
+	e.obsPhase(obs.PhaseConstraints, t0)
 
 	// Deferred migration (§3.2.4).
 	if e.step%e.Cfg.MigrationInterval == 0 {
 		e.migrate()
 	}
 	e.Stats.Steps++
+	if e.rec != nil {
+		e.rec.StepDone()
+	}
 }
 
 // kick applies a half-kick: v += round(F * c) with the symmetric
@@ -528,22 +583,44 @@ func (b EnergyBreakdown) Total() float64 {
 // computeForces evaluates the short-range terms every step and the
 // long-range terms when refresh is true.
 func (e *Engine) computeForces(refreshLong bool) {
+	t0 := e.obsNow()
 	e.refreshPosCache()
-	e.checkResidency()
+	viol := e.residencyViolated()
+	e.obsPhase(obs.PhaseDecode, t0)
+	if viol {
+		// A residency-slack violation could mean missed pairs, so the
+		// engine re-migrates immediately (deterministic: the decision
+		// depends only on positions).
+		if e.rec != nil {
+			e.rec.Add(obs.CtrResidencyMigrations, 1)
+		}
+		e.migrate()
+	}
 	for i := range e.fShort {
 		e.fShort[i] = Force3{}
 	}
 	e.Breakdown.RangeLimited = e.rangeLimitedForces()
+	t0 = e.obsNow()
 	e.Breakdown.Bonded = e.bondedForces()
+	e.obsPhase(obs.PhaseBonded, t0)
 	// Scaled 1-4 interactions are stiff and short-range: fast loop.
+	t0 = e.obsNow()
 	e.Breakdown.Correction = e.pair14Forces()
+	e.obsPhase(obs.PhasePair14, t0)
 	if refreshLong {
 		for i := range e.fLong {
 			e.fLong[i] = Force3{}
 		}
-		e.Breakdown.Mesh = e.meshForces() + e.exclusionCorrections()
+		mesh := e.meshForces()
+		t0 = e.obsNow()
+		excl := e.exclusionCorrections()
+		e.obsPhase(obs.PhaseExclusion, t0)
+		e.Breakdown.Mesh = mesh + excl
 		e.longRangeEnergy = e.Breakdown.Mesh
 		e.spreadVSiteForceCounts(e.fLong)
+		if e.rec != nil {
+			e.rec.Add(obs.CtrLongRangeEvals, 1)
+		}
 	} else {
 		// The stale long-range component persists between MTS refreshes.
 		e.Breakdown.Mesh = e.longRangeEnergy
@@ -864,20 +941,19 @@ func (e *Engine) berendsenFixed() {
 	}
 }
 
-// checkResidency verifies that no atom has drifted further from its
-// subbox than the slack allows — a violation could mean missed pairs, so
-// the engine re-migrates immediately (deterministic: the decision depends
-// only on positions). Real Anton instead sizes the import slack so this
-// cannot happen between its scheduled migrations (§3.2.4).
-func (e *Engine) checkResidency() {
+// residencyViolated reports whether any atom has drifted further from its
+// subbox than the slack allows. Real Anton sizes the import slack so this
+// cannot happen between its scheduled migrations (§3.2.4); the software
+// engine checks and re-migrates (see computeForces).
+func (e *Engine) residencyViolated() bool {
 	for i := range e.Pos {
 		r := e.posCache[i]
 		c := e.subGrid.Coord(int(e.subOf[i]))
 		if e.distToSubbox(r, c) > e.subSlack {
-			e.migrate()
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // distToSubbox returns the distance from a point to its subbox volume.

@@ -7,6 +7,7 @@ import (
 	"anton/internal/ff"
 	"anton/internal/fft"
 	"anton/internal/htis"
+	"anton/internal/obs"
 	"anton/internal/ppip"
 	"anton/internal/system"
 	"anton/internal/vec"
@@ -109,6 +110,7 @@ func (e *Engine) meshForces() float64 {
 	// Parallel across atoms with per-worker mesh-count buffers; the
 	// wrapping integer merge keeps the mesh contents independent of
 	// scheduling, exactly like the force accumulators.
+	t0 := e.obsNow()
 	workers := e.workers()
 	for i := range ms.counts {
 		ms.counts[i] = 0
@@ -145,15 +147,19 @@ func (e *Engine) meshForces() float64 {
 		}
 		meshTallies[w] = tally
 	})
+	spreadTally := int64(0)
 	for w := 0; w < workers; w++ {
 		counts := ms.workerCounts[w]
 		for i := range ms.counts {
 			ms.counts[i] += counts[i]
 		}
 		e.Stats.MeshInteractions += meshTallies[w]
+		spreadTally += meshTallies[w]
 	}
+	e.obsPhase(obs.PhaseMeshSpread, t0)
 
 	// --- Convolution (distributed FFT; serial transform is bit-identical). ---
+	t0 = e.obsNow()
 	for i, c := range ms.counts {
 		ms.mesh.Data[i] = complex(float64(c)*ChargeQuantum, 0)
 	}
@@ -162,9 +168,11 @@ func (e *Engine) meshForces() float64 {
 		ms.mesh.Data[i] *= complex(g, 0)
 	}
 	ms.mesh.InverseP(e.workers())
+	e.obsPhase(obs.PhaseFFT, t0)
 
 	// --- Force interpolation + energy (parallel: each atom's force is
 	// written only by its owner). ---
+	t0 = e.obsNow()
 	h3 := ms.h * ms.h * ms.h
 	invS2 := 1 / (ms.sigma1 * ms.sigma1)
 	energies := ms.workerEnergies
@@ -204,9 +212,15 @@ func (e *Engine) meshForces() float64 {
 		meshTallies[w] = tally
 	})
 	energy := 0.0
+	interpTally := int64(0)
 	for w := 0; w < workers; w++ {
 		energy += energies[w]
 		e.Stats.MeshInteractions += meshTallies[w]
+		interpTally += meshTallies[w]
+	}
+	e.obsPhase(obs.PhaseMeshInterp, t0)
+	if e.rec != nil {
+		e.rec.Add(obs.CtrMeshInteractions, spreadTally+interpTally)
 	}
 	// Remove the Ewald self term.
 	energy += e.Split.SelfEnergy(top.Atoms)

@@ -6,6 +6,7 @@ import (
 	"anton/internal/ff"
 	"anton/internal/fixp"
 	"anton/internal/htis"
+	"anton/internal/obs"
 )
 
 // The cache-resident cluster pair kernel. The HTIS pair loop is the
@@ -174,20 +175,30 @@ func (k *pairKernel) ensureBatches(workers int) {
 // evaluation and scatters the results into the worker's slot-indexed
 // force buffer. Pair order inside a worker's chunk is preserved, so the
 // diagnostic float energy sum is reproducible; the quantized forces are
-// order-independent regardless.
-func (e *Engine) flushPairBatch(b *pairBatch, buf []Force3, energy *float64, computed *int64, vir *htis.Virial) {
+// order-independent regardless. Batch bookkeeping (flush count, occupancy
+// histogram) lands in the worker-owned tally; the PPIP datapath is timed
+// only with observability attached, and the timing reads clocks only —
+// the computed forces are bitwise identical either way.
+func (e *Engine) flushPairBatch(b *pairBatch, buf []Force3, energy *float64, st *tally, vir *htis.Virial) {
 	if b.n == 0 {
 		return
 	}
+	st.RecordFlush(b.n, pairBatchSize)
 	out := b.out[:b.n]
-	e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
+	if e.rec == nil {
+		e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
+	} else {
+		t0 := e.rec.Now()
+		e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
+		st.PPIPNs += e.rec.Now() - t0
+	}
 	track := e.Cfg.TrackVirial
 	for n := range out {
 		res := &out[n]
 		if !res.Within {
 			continue
 		}
-		*computed++
+		st.Computed++
 		si, sj := b.si[n], b.sj[n]
 		buf[si] = buf[si].AddRaw(res.FX, res.FY, res.FZ)
 		buf[sj] = buf[sj].AddRaw(-res.FX, -res.FY, -res.FZ)
@@ -236,7 +247,7 @@ func (e *Engine) pairChunk(w, lo, hi int) {
 				sj = si + 1
 			}
 			for ; sj < bHi; sj++ {
-				t.considered++
+				t.Considered++
 				pj := pos[sj]
 				d := fixp.Vec3{X: pi.X - pj.X, Y: pi.Y - pj.Y, Z: pi.Z - pj.Z}
 				dx := int64(int32(d.X) >> shift)
@@ -255,7 +266,7 @@ func (e *Engine) pairChunk(w, lo, hi int) {
 					dx*dx+dy*dy+dz*dz > limR2 {
 					continue
 				}
-				t.matched++
+				t.Matched++
 				// Exclusion merge scan: slot order is atom order within a
 				// subbox, so j ascends and the pointer advances linearly.
 				j := atomOf[sj]
@@ -277,12 +288,12 @@ func (e *Engine) pairChunk(w, lo, hi int) {
 				b.sj[n] = sj
 				b.n = n + 1
 				if b.n == pairBatchSize {
-					e.flushPairBatch(b, buf, &energy, &t.computed, vir)
+					e.flushPairBatch(b, buf, &energy, &t, vir)
 				}
 			}
 		}
 	}
-	e.flushPairBatch(b, buf, &energy, &t.computed, vir)
+	e.flushPairBatch(b, buf, &energy, &t, vir)
 	e.workerEnergies[w] = energy
 	e.workerTallies[w] = t
 }
@@ -294,26 +305,42 @@ func (e *Engine) pairChunk(w, lo, hi int) {
 // parallel over slot ranges.
 func (e *Engine) rangeLimitedForces() float64 {
 	k := &e.pk
+	t0 := e.obsNow()
 	k.refreshGather(e.Pos)
+	e.obsPhase(obs.PhasePairGather, t0)
 	workers := e.workers()
 	e.forceBuffers(workers, len(k.pos))
 	e.workerAccums(workers)
 	k.ensureBatches(workers)
+	t0 = e.obsNow()
 	parallelChunks(len(e.subPairs), workers, e.pairChunkFn)
+	e.obsPhase(obs.PhasePairMatch, t0)
+	t0 = e.obsNow()
 	e.reduceForces(e.fShort, e.workerF[:workers], k.atomOf, workers)
+	e.obsPhase(obs.PhasePairReduce, t0)
 	energy := 0.0
 	if e.Cfg.TrackVirial {
 		e.virial = htis.Virial{}
 	}
+	var merged tally
 	for w := 0; w < workers; w++ {
 		energy += e.workerEnergies[w]
-		t := e.workerTallies[w]
-		e.Stats.PairsConsidered += t.considered
-		e.Stats.PairsMatched += t.matched
-		e.Stats.PairsComputed += t.computed
+		merged.Merge(&e.workerTallies[w])
 		if e.Cfg.TrackVirial {
 			e.virial.Merge(&e.workerVirials[w])
 		}
+	}
+	e.Stats.PairsConsidered += merged.Considered
+	e.Stats.PairsMatched += merged.Matched
+	e.Stats.PairsComputed += merged.Computed
+	if e.rec != nil {
+		e.rec.Add(obs.CtrPairsConsidered, merged.Considered)
+		e.rec.Add(obs.CtrPairsMatched, merged.Matched)
+		e.rec.Add(obs.CtrPairsComputed, merged.Computed)
+		e.rec.Add(obs.CtrBatchFlushes, merged.BatchFlushes)
+		e.rec.Add(obs.CtrBatchPairs, merged.BatchPairs)
+		e.rec.AddOccupancy(merged.Occupancy)
+		e.rec.AddPhaseBatch(obs.PhasePairPPIP, merged.PPIPNs, merged.BatchFlushes)
 	}
 	return energy
 }

@@ -199,7 +199,7 @@ func TestWorkerAccumsZeroOnEveryCall(t *testing.T) {
 	e := &Engine{}
 	e.workerAccums(3)
 	e.workerEnergies[1] = 42
-	e.workerTallies[2] = tally{considered: 9}
+	e.workerTallies[2] = tally{Considered: 9}
 	// A smaller request must still zero the previously-used entries it
 	// returns, and reuse the backing arrays.
 	prev := &e.workerEnergies[0]

@@ -236,3 +236,18 @@ func TestBPTIExperiment(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileMeasured(t *testing.T) {
+	out, err := ProfileMeasured(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"range-limited", "FFT", "mesh spread+interp", "bonded",
+		"match efficiency", "migration-interval drift", "residency slack",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"anton/internal/core"
+	"anton/internal/machine"
+	"anton/internal/obs"
+	"anton/internal/system"
+	"anton/internal/trace"
+)
+
+// ProfileMeasured runs the fixed-point core engine with the observability
+// layer attached and compares the measured per-phase execution profile
+// against the calibrated Anton machine model's prediction for the same
+// workload — the software analogue of checking Table 2's task rows
+// against the hardware. Absolute times are incomparable (a Go process vs
+// 512 ASICs), so the comparison is over phase *shares* of the force
+// pipeline, where the workload ratios should agree to first order.
+func ProfileMeasured(steps int) (string, error) {
+	s, err := system.Small(true, 77)
+	if err != nil {
+		return "", err
+	}
+	return profileMeasured(s, steps, 8)
+}
+
+// profileMeasured is the system-parameterized worker behind
+// ProfileMeasured, shared with the package tests.
+func profileMeasured(s *system.System, steps, nodes int) (string, error) {
+	cfg := core.DefaultConfig(nodes)
+	e, err := core.NewEngine(s, cfg)
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(7))
+	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+
+	rec := obs.NewRecorder()
+	rec.EnableMemStats()
+	e.Observe(rec)
+
+	// Record one frame per migration interval, so the trajectory's
+	// per-frame minimum-image displacement is exactly the drift the
+	// residency slack must absorb.
+	tr := trace.New(s.NAtoms())
+	if err := tr.Record(0, 0, e.Positions(), 0); err != nil {
+		return "", err
+	}
+	interval := cfg.MigrationInterval
+	for done := 0; done < steps; done += interval {
+		n := interval
+		if steps-done < n {
+			n = steps - done
+		}
+		e.Step(n)
+		if err := tr.Record(e.StepCount(), float64(e.StepCount())*cfg.Dt, e.Positions(), 0); err != nil {
+			return "", err
+		}
+	}
+	snap := rec.Snapshot()
+
+	// The machine model's prediction for the same workload on a small
+	// Anton configuration.
+	w := machine.WorkloadFromSystem(s)
+	w.Dt = cfg.Dt
+	w.MTSInterval = cfg.MTSInterval
+	m, err := machine.New(nodes)
+	if err != nil {
+		return "", err
+	}
+	pred := machine.DefaultModel.Estimate(m, w)
+
+	// Measured force-pipeline phase groups vs the model's task rows.
+	ns := func(ps ...obs.Phase) int64 {
+		var t int64
+		for _, p := range ps {
+			t += snap.Phases[p].Ns
+		}
+		return t
+	}
+	groups := []struct {
+		name      string
+		measured  int64
+		predicted float64
+	}{
+		{"range-limited", ns(obs.PhasePairGather, obs.PhasePairMatch, obs.PhasePairReduce), pred.RangeLimited},
+		{"FFT", ns(obs.PhaseFFT), pred.FFT},
+		{"mesh spread+interp", ns(obs.PhaseMeshSpread, obs.PhaseMeshInterp), pred.MeshInterp},
+		{"corrections", ns(obs.PhasePair14, obs.PhaseExclusion), pred.Correction},
+		{"bonded", ns(obs.PhaseBonded), pred.Bonded},
+		{"integration+constr", ns(obs.PhaseIntegration, obs.PhaseConstraints), pred.Integration},
+	}
+	var measTotal int64
+	var predTotal float64
+	for _, g := range groups {
+		measTotal += g.measured
+		predTotal += g.predicted
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Measured vs machine-model-predicted phase profile (%s, %d atoms, %d steps, %d nodes):\n",
+		s.Name, s.NAtoms(), steps, nodes)
+	fmt.Fprintf(&b, "%-20s %12s %8s   %12s %8s\n", "phase group", "meas ms", "share", "model us", "share")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%-20s %12.2f %7.1f%%   %12.3f %7.1f%%\n",
+			g.name,
+			float64(g.measured)/1e6, 100*float64(g.measured)/float64(measTotal),
+			g.predicted*1e6, 100*g.predicted/predTotal)
+	}
+	fmt.Fprintf(&b, "(shares are of the force-pipeline total; absolute scales differ by design)\n\n")
+	fmt.Fprintf(&b, "match efficiency: measured %.1f%%, model estimate %.1f%% (subdiv %d)\n",
+		100*snap.MatchEfficiency, 100*pred.MatchEfficiency, pred.Subdiv)
+	fmt.Fprintf(&b, "mean PPIP batch occupancy: %.1f%%\n", 100*snap.MeanOccupancy)
+
+	// Residency safety margin: the slack must comfortably exceed the
+	// worst per-migration-interval drift.
+	drift := tr.MaxDisplacementPBC(s.Box)
+	slack := e.MigrationSlack()
+	fmt.Fprintf(&b, "migration-interval drift: max %.3f A per %d steps vs %.3f A residency slack (%.0f%% headroom)\n",
+		drift, interval, slack, 100*(slack-drift)/slack)
+	forced := snap.Counters[obs.CtrResidencyMigrations].Value
+	fmt.Fprintf(&b, "forced early migrations: %d of %d\n", forced, snap.Counters[obs.CtrMigrations].Value)
+	if snap.Mem.Tracked {
+		fmt.Fprintf(&b, "allocations: %.1f/step (%d GCs over the run)\n",
+			snap.Mem.MallocsPerStep, snap.Mem.NumGC)
+	}
+	return b.String(), nil
+}

@@ -153,8 +153,12 @@ func Read(r io.Reader) (*Trajectory, error) {
 	return t, nil
 }
 
-// MaxDisplacement returns the largest single-atom displacement between
-// consecutive frames (diagnostic for migration-interval safety margins).
+// MaxDisplacement returns the largest single-atom raw displacement
+// between consecutive frames. Raw means no periodic-boundary handling: an
+// atom wrapping across the box reports a ~box-length jump, so this is
+// only meaningful for unwrapped trajectories. Engine snapshots are
+// wrapped into the box — use MaxDisplacementPBC for those (and for
+// anything feeding migration-interval safety margins).
 func (t *Trajectory) MaxDisplacement() float64 {
 	worst := 0.0
 	for f := 1; f < len(t.Frames); f++ {
@@ -162,6 +166,26 @@ func (t *Trajectory) MaxDisplacement() float64 {
 		b := t.Frames[f].Positions
 		for i := range a {
 			if d := b[i].Sub(a[i]).Norm(); d > worst && d < math.Inf(1) {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// MaxDisplacementPBC returns the largest single-atom minimum-image
+// displacement between consecutive frames in the given periodic box — the
+// physical per-interval drift, immune to boundary wrapping. This is the
+// diagnostic for migration-interval safety margins: the engine's
+// inter-migration residency slack must exceed the drift accumulated over
+// one migration interval.
+func (t *Trajectory) MaxDisplacementPBC(box vec.Box) float64 {
+	worst := 0.0
+	for f := 1; f < len(t.Frames); f++ {
+		a := t.Frames[f-1].Positions
+		b := t.Frames[f].Positions
+		for i := range a {
+			if d := box.MinImage(b[i].Sub(a[i])).Norm(); d > worst && d < math.Inf(1) {
 				worst = d
 			}
 		}

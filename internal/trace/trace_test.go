@@ -86,6 +86,26 @@ func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(bytes.NewReader(b)); err == nil {
 		t.Error("corrupt magic accepted")
 	}
+	b[0] ^= 0xff // restore
+	// Unsupported version.
+	v := append([]byte(nil), b...)
+	v[4] = 99
+	if _, err := Read(bytes.NewReader(v)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Implausible atom count.
+	n := append([]byte(nil), b...)
+	n[8], n[9], n[10], n[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Read(bytes.NewReader(n)); err == nil {
+		t.Error("implausible header accepted")
+	}
+	// Truncation mid-frame.
+	if _, err := Read(bytes.NewReader(b[:len(b)-7])); err == nil {
+		t.Error("truncated trajectory accepted")
+	}
+	if _, err := Read(bytes.NewReader(b[:20])); err == nil {
+		t.Error("header-only trajectory with frames accepted")
+	}
 }
 
 func TestMaxDisplacement(t *testing.T) {
@@ -94,6 +114,24 @@ func TestMaxDisplacement(t *testing.T) {
 	tr.Record(1, 1, []vec.V3{{Y: 0.5}, {X: 1}}, 0)
 	if d := tr.MaxDisplacement(); d != 0.5 {
 		t.Errorf("max displacement: got %g", d)
+	}
+}
+
+func TestMaxDisplacementPBC(t *testing.T) {
+	box := vec.Cube(10)
+	tr := New(2)
+	// Atom 0 wraps across the boundary: 9.8 -> 0.1 is a 0.3 Å move under
+	// minimum image but a 9.7 Å raw jump. Atom 1 moves 0.5 Å in the
+	// interior.
+	tr.Record(0, 0, []vec.V3{{X: 9.8}, {Y: 2.0}}, 0)
+	tr.Record(1, 1, []vec.V3{{X: 0.1}, {Y: 2.5}}, 0)
+	if d := tr.MaxDisplacementPBC(box); d < 0.499 || d > 0.501 {
+		t.Errorf("PBC max displacement: got %g, want 0.5", d)
+	}
+	// The raw variant sees the wrap as a huge jump — that contrast is the
+	// reason the box-aware variant exists.
+	if d := tr.MaxDisplacement(); d < 9 {
+		t.Errorf("raw max displacement: got %g, want ~9.7", d)
 	}
 }
 

@@ -10,9 +10,17 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== race: core + htis =="
+echo "== race: core + htis + obs + trace =="
 # -short skips the long soak tests; the invariance and reduction tests
 # that exercise every parallel section still run.
-go test -race -short ./internal/core ./internal/htis
+go test -race -short ./internal/core ./internal/htis ./internal/obs ./internal/trace
+
+echo "== determinism: repeated runs =="
+# -count=2 executes each determinism-sensitive test twice in one process,
+# which is what exposes map-iteration-order bugs (the Comm() importer
+# traversal was one): a single run can pass by luck, two rarely agree.
+go test -count=2 -run \
+	'TestCommDeterministic|TestObsBitwiseInvariance|Deterministic|Bitwise|Invariance' \
+	./internal/core ./internal/fft ./internal/torus
 
 echo "verify: OK"
