@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair profile
+.PHONY: build test test-short verify bench-pair profile trace bench-obs
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,18 @@ profile:
 	$(GO) run ./cmd/antonsim -system small -steps 200 \
 		-metrics metrics.json -pprof localhost:6060
 	$(GO) run ./cmd/antonbench -experiment profile
+
+# Step-level timeline: run an instrumented simulation with simulated
+# node lanes and health watchdogs, validate the export, and leave
+# trace.json ready to load at https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/antonsim -system small -steps 200 \
+		-trace trace.json -trace-nodes -watch
+	$(GO) run scripts/validate_trace.go trace.json
+
+# Regenerate the committed structured profile record (BENCH_obs.json).
+bench-obs:
+	$(GO) run ./cmd/antonbench -profile-json BENCH_obs.json
 
 # The pair-kernel benchmarks backing BENCH_pairkernel.json.
 bench-pair:

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"anton/internal/experiments"
+	"anton/internal/obs"
 )
 
 type experiment struct {
@@ -111,10 +112,31 @@ var registry = []experiment{
 
 func main() {
 	var (
-		which = flag.String("experiment", "cheap", "experiment name, 'all', or 'cheap' (skip dynamics runs)")
-		full  = flag.Bool("full", false, "use full-length runs for the expensive experiments")
+		which       = flag.String("experiment", "cheap", "experiment name, 'all', or 'cheap' (skip dynamics runs)")
+		full        = flag.Bool("full", false, "use full-length runs for the expensive experiments")
+		profileJSON = flag.String("profile-json", "", "run the profile experiment and write its structured record to this file (the BENCH_obs.json generator)")
+		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, false)
+
+	if *profileJSON != "" {
+		steps := 40
+		if *full {
+			steps = 400
+		}
+		b, err := experiments.ProfileJSON(steps)
+		if err != nil {
+			logger.Error("profile", "err", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*profileJSON, b, 0o644); err != nil {
+			logger.Error("write profile", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote structured profile", "file", *profileJSON, "steps", steps)
+		return
+	}
 
 	names := map[string]bool{}
 	for _, e := range registry {

@@ -17,20 +17,23 @@ import (
 	"os"
 
 	"anton/internal/machine"
+	"anton/internal/obs"
 	"anton/internal/system"
 )
 
 func main() {
 	var (
-		name  = flag.String("system", "DHFR", "named system")
-		sweep = flag.String("sweep", "nodes", "'nodes', 'params', or 'cluster'")
-		nodes = flag.Int("nodes", 512, "node count for the params sweep")
+		name      = flag.String("system", "DHFR", "named system")
+		sweep     = flag.String("sweep", "nodes", "'nodes', 'params', or 'cluster'")
+		nodes     = flag.Int("nodes", 512, "node count for the params sweep")
+		logFormat = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, false)
 
 	spec, ok := system.SpecFor(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown system %q; have %v\n", *name, system.Names())
+		logger.Error("unknown system", "system", *name, "available", fmt.Sprint(system.Names()))
 		os.Exit(1)
 	}
 	w := machine.WorkloadFromSpec(spec)
@@ -54,7 +57,7 @@ func main() {
 	case "params":
 		m, err := machine.New(*nodes)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("build machine", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%s on %d nodes: electrostatics parameter sweep (Table 2 trade-off)\n", *name, *nodes)
@@ -77,7 +80,7 @@ func main() {
 			fmt.Printf("%-8d %12.3f\n", n, machine.DefaultCluster.RatePerDay(w, n))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		logger.Error("unknown sweep", "sweep", *sweep)
 		os.Exit(1)
 	}
 }

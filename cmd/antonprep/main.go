@@ -14,21 +14,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"anton/internal/ewald"
+	"anton/internal/obs"
 	"anton/internal/ppip"
 	"anton/internal/system"
 	"anton/internal/trace"
 )
 
+var logger *slog.Logger
+
 func main() {
 	var (
-		name = flag.String("system", "gpW", "named system or 'small'")
-		out  = flag.String("out", "prep", "output directory")
+		name      = flag.String("system", "gpW", "named system or 'small'")
+		out       = flag.String("out", "prep", "output directory")
+		logFormat = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, *logFormat, false)
 
 	var s *system.System
 	var err error
@@ -116,6 +122,6 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
+	logger.Error("prep failed", "err", err)
 	os.Exit(1)
 }

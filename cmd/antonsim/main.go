@@ -8,12 +8,16 @@
 //
 //	antonsim -system gpW -nodes 8 -steps 50
 //	antonsim -system small -steps 200 -metrics metrics.json -pprof localhost:6060
+//	antonsim -system small -steps 500 -trace trace.json -trace-nodes -watch
+//	antonsim -system small -steps 100000 -listen localhost:8777 -watch
 //	antonsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
@@ -22,6 +26,7 @@ import (
 	"anton/internal/core"
 	"anton/internal/machine"
 	"anton/internal/obs"
+	"anton/internal/obs/health"
 	"anton/internal/system"
 	"anton/internal/trace"
 )
@@ -38,13 +43,23 @@ func main() {
 		comm    = flag.Bool("comm", false, "print the per-step communication report")
 		metrics = flag.String("metrics", "", "write the observability snapshot as JSON to this file (and print the text report)")
 		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (load in Perfetto)")
+		traceNodes = flag.Bool("trace-nodes", false, "include simulated per-node lanes in the trace (runs the comm model at migrations)")
+		traceCap   = flag.Int("trace-ring", 65536, "step tracer ring capacity, spans")
+		watch      = flag.Bool("watch", false, "run the health watchdogs (energy, momentum, overflow headroom, migration slack)")
+		watchEvery = flag.Int("watch-every", 10, "watchdog sampling cadence, steps")
+		listenAt   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /trace) on this address")
+		logFormat  = flag.String("log", "text", "log format: text or json")
+		verbose    = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, *logFormat, *verbose)
 
 	if *pprofAt != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+				logger.Error("pprof server", "err", err)
 			}
 		}()
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAt)
@@ -69,7 +84,7 @@ func main() {
 		s, err = system.ByName(*name)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("load system", "err", err)
 		os.Exit(1)
 	}
 	fmt.Printf("system %s: %d particles, %d waters, %d protein atoms, box %.1f Å\n",
@@ -83,17 +98,64 @@ func main() {
 	}
 	eng, err := core.NewEngine(s, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("build engine", "err", err)
 		os.Exit(1)
 	}
 	rng := rand.New(rand.NewSource(2))
 	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 
+	// Observability attachments. Everything below is read-only with
+	// respect to the dynamics: the trajectory is bitwise identical with
+	// or without it.
 	var rec *obs.Recorder
-	if *metrics != "" {
+	if *metrics != "" || *listenAt != "" {
 		rec = obs.NewRecorder()
 		rec.EnableMemStats()
 		eng.Observe(rec)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *listenAt != "" {
+		tracer = obs.NewTracer(*traceCap)
+		if *traceNodes {
+			tracer.EnableNodeLanes(cfg.MigrationInterval)
+		}
+		eng.Trace(tracer)
+	}
+	var watchdog *core.Watch
+	if *watch || *listenAt != "" {
+		watchdog = core.NewWatch(eng, health.DefaultConfig(), *watchEvery)
+	}
+
+	var tel *obs.Telemetry
+	if *listenAt != "" {
+		tel = obs.NewTelemetry()
+		go func() {
+			if err := tel.ListenAndServe(*listenAt); err != nil {
+				logger.Error("telemetry server", "err", err)
+			}
+		}()
+		logger.Info("telemetry listening", "addr", *listenAt,
+			"endpoints", "/metrics /healthz /trace")
+	}
+
+	// publish pushes fresh copies of the observability state to the
+	// telemetry surface (the HTTP handlers only ever read those copies).
+	publish := func() {
+		if tel == nil {
+			return
+		}
+		if rec != nil {
+			tel.PublishSnapshot(rec.Snapshot())
+		}
+		tel.PublishSample(eng.TelemetrySample())
+		if watchdog != nil {
+			tel.PublishHealth(watchdog.Registry().Status(obs.SchemaVersion))
+		}
+		if tracer != nil {
+			if err := tel.PublishTrace(tracer); err != nil {
+				logger.Error("publish trace", "err", err)
+			}
+		}
 	}
 
 	fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
@@ -106,6 +168,18 @@ func main() {
 		done += n
 		fmt.Printf("step %5d: T = %6.1f K   PE = %12.2f   E = %12.2f kcal/mol\n",
 			eng.StepCount(), eng.Temperature(), eng.PotentialEnergy, eng.TotalEnergy())
+		if watchdog != nil {
+			for _, a := range watchdog.Drain() {
+				lvl := slog.LevelWarn
+				if a.Severity >= health.SevCrit {
+					lvl = slog.LevelError
+				}
+				logger.Log(context.Background(), lvl, "watchdog alert",
+					"monitor", a.Monitor, "severity", a.Severity.String(),
+					"step", a.Step, "value", a.Value, "threshold", a.Threshold)
+			}
+		}
+		publish()
 	}
 
 	st := eng.Stats
@@ -116,30 +190,53 @@ func main() {
 	fmt.Printf("  match efficiency: %.1f%%\n", st.MatchEfficiency()*100)
 	fmt.Printf("  atom-mesh interactions: %d\n", st.MeshInteractions)
 	fmt.Printf("  migrations: %d\n", st.Migrations)
+	if watchdog != nil {
+		reg := watchdog.Registry()
+		fmt.Printf("  watchdog: worst severity %s (%d warn, %d critical alerts)\n",
+			reg.Worst(), reg.Fired(health.SevWarn), reg.Fired(health.SevCrit))
+	}
 
-	if rec != nil {
+	if rec != nil && *metrics != "" {
 		snap := rec.Snapshot()
 		fmt.Printf("\n%s", snap)
 		f, err := os.Create(*metrics)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write metrics", "err", err)
 			os.Exit(1)
 		}
 		if err := snap.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write metrics", "err", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write metrics", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metrics)
 	}
 
+	if tracer != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Error("write trace", "err", err)
+			os.Exit(1)
+		}
+		if err := tracer.Export(f); err != nil {
+			logger.Error("write trace", "err", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("write trace", "err", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s (%d spans, %d dropped; open in Perfetto)\n",
+			*traceOut, len(tracer.Spans()), tracer.Dropped())
+	}
+
 	if *comm {
 		rep, err := eng.Comm()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("comm report", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\n%s", rep)
@@ -148,7 +245,7 @@ func main() {
 	if *pdb != "" {
 		f, err := os.Create(*pdb)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write pdb", "err", err)
 			os.Exit(1)
 		}
 		labels := make([]trace.AtomLabel, s.NAtoms())
@@ -156,11 +253,11 @@ func main() {
 			labels[i] = trace.AtomLabel{Name: a.Name, Residue: a.Residue}
 		}
 		if err := trace.WritePDB(f, labels, eng.Positions(), s.Box, 1); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write pdb", "err", err)
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			logger.Error("write pdb", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote snapshot to %s\n", *pdb)

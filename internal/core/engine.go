@@ -171,6 +171,15 @@ type Engine struct {
 	// path costs one nil check per phase — never per pair.
 	rec *obs.Recorder
 
+	// trc is the optional step tracer (nil = disabled); same read-only
+	// contract and nil-check cost model as rec.
+	trc *obs.Tracer
+
+	// onStep is an optional end-of-step hook (nil = disabled) — the
+	// attachment point for the health watchdogs. Hooks must be read-only
+	// with respect to dynamics state.
+	onStep func()
+
 	Stats Stats
 
 	// Energies of the last force evaluation (diagnostic, float).
@@ -387,6 +396,29 @@ func (e *Engine) Observe(r *obs.Recorder) { e.rec = r }
 // Recorder returns the attached observability registry (nil if detached).
 func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
+// Trace attaches a step tracer (nil to detach), installs its virtual
+// step layout from the machine performance model, and — when node lanes
+// are enabled — computes the initial simulated-node schedule. Must be
+// called between Step calls; attaching never perturbs the trajectory.
+func (e *Engine) Trace(t *obs.Tracer) {
+	e.trc = t
+	if t == nil {
+		return
+	}
+	t.SetStepLayout(e.tracePhaseWeights())
+	if t.NodeLanesEnabled() {
+		e.refreshTraceNodeLanes()
+	}
+}
+
+// Tracer returns the attached step tracer (nil if detached).
+func (e *Engine) Tracer() *obs.Tracer { return e.trc }
+
+// OnStep installs fn as the end-of-step hook (nil to remove). The hook
+// runs after each completed step, after the recorder and tracer flush,
+// and must not mutate dynamics state.
+func (e *Engine) OnStep(fn func()) { e.onStep = fn }
+
 // MigrationSlack returns the residency slack: how far an atom may drift
 // from its assigned subbox between migrations before correctness demands
 // an early re-migration. Diagnostics compare the measured per-interval
@@ -394,20 +426,32 @@ func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 func (e *Engine) MigrationSlack() float64 { return e.subSlack }
 
 // obsNow returns the observability clock, or 0 with observability off.
-// The nil check is the entire cost of the disabled path.
+// The nil checks are the entire cost of the disabled path. With both a
+// recorder and a tracer attached, the recorder's clock is authoritative
+// (only differences of Now values are ever used).
 func (e *Engine) obsNow() int64 {
-	if e.rec == nil {
-		return 0
+	if e.rec != nil {
+		return e.rec.Now()
 	}
-	return e.rec.Now()
+	if e.trc != nil {
+		return e.trc.Now()
+	}
+	return 0
 }
 
-// obsPhase closes a timed phase opened at t0 = obsNow().
+// obsPhase closes a timed phase opened at t0 = obsNow(), feeding the
+// recorder's aggregates and the tracer's per-step span accumulators.
 func (e *Engine) obsPhase(p obs.Phase, t0 int64) {
-	if e.rec == nil {
+	if e.rec == nil && e.trc == nil {
 		return
 	}
-	e.rec.AddPhase(p, e.rec.Now()-t0)
+	ns := e.obsNow() - t0
+	if e.rec != nil {
+		e.rec.AddPhase(p, ns)
+	}
+	if e.trc != nil {
+		e.trc.AddPhase(p, ns)
+	}
 }
 
 // migrate reassigns constraint groups to home boxes based on the group
@@ -461,7 +505,10 @@ func (e *Engine) migrate() {
 	e.Stats.Migrations++
 	if e.rec != nil {
 		e.rec.Add(obs.CtrMigrations, 1)
-		e.obsPhase(obs.PhaseMigration, t0)
+	}
+	e.obsPhase(obs.PhaseMigration, t0)
+	if e.trc != nil && e.trc.NeedNodeRefresh(int64(e.step)) {
+		e.refreshTraceNodeLanes()
 	}
 }
 
@@ -553,6 +600,12 @@ func (e *Engine) stepOnce() {
 	e.Stats.Steps++
 	if e.rec != nil {
 		e.rec.StepDone()
+	}
+	if e.trc != nil {
+		e.trc.StepDone(int64(e.step))
+	}
+	if e.onStep != nil {
+		e.onStep()
 	}
 }
 

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"anton/internal/ff"
+	"anton/internal/obs"
+	"anton/internal/obs/health"
+	"anton/internal/trace"
+	"anton/internal/vec"
+)
+
+// Watch attaches the health-watchdog subsystem to a running engine: on a
+// fixed step cadence it samples the invariants that certify a long run
+// is still healthy — total-energy drift, net momentum, fixed-point
+// overflow headroom, and the migration-slack margin (measured with
+// trace.MaxDisplacementPBC against Engine.MigrationSlack) — and feeds
+// them to a health.Registry. The watch hooks the engine's end-of-step
+// callback and is strictly read-only: the trajectory is bitwise
+// identical with a watch attached (test-asserted alongside the recorder
+// and tracer contracts).
+type Watch struct {
+	e       *Engine
+	reg     *health.Registry
+	cadence int
+
+	refPos  []vec.V3 // decoded positions at the last migration
+	curPos  []vec.V3 // decode scratch
+	lastMig int
+	drift   float64 // worst drift observed since the last eval
+
+	pending []health.Alert
+}
+
+// NewWatch builds a watch evaluating every cadence steps (minimum 1) and
+// installs it as the engine's step hook. A thermostatted engine
+// (Cfg.TauT > 0) exchanges energy with the bath by design, so the
+// energy-drift monitor is disabled there automatically.
+//
+// The cadence is rounded up to a multiple of the MTS interval: total
+// energy oscillates within the long-range refresh cycle (the fast forces
+// see the stale mesh force between refreshes), so sampling at a
+// misaligned cadence would alias that oscillation into apparent drift an
+// order of magnitude above the real secular trend.
+func NewWatch(e *Engine, cfg health.Config, cadence int) *Watch {
+	if cadence < 1 {
+		cadence = 1
+	}
+	if m := e.Cfg.MTSInterval; m > 1 && cadence%m != 0 {
+		cadence += m - cadence%m
+	}
+	if e.Cfg.TauT > 0 {
+		cfg.DisableEnergy = true
+	}
+	w := &Watch{
+		e:       e,
+		reg:     health.New(cfg),
+		cadence: cadence,
+		refPos:  e.Positions(),
+		curPos:  make([]vec.V3, len(e.Pos)),
+		lastMig: e.Stats.Migrations,
+	}
+	e.OnStep(w.tick)
+	return w
+}
+
+// Registry exposes the underlying watchdog registry.
+func (w *Watch) Registry() *health.Registry { return w.reg }
+
+// Drain returns and clears the alerts fired since the last call.
+func (w *Watch) Drain() []health.Alert {
+	out := w.pending
+	w.pending = nil
+	return out
+}
+
+// tick runs after every completed step: it tracks the per-migration
+// drift reference and, on the eval cadence, feeds one sample through the
+// watchdogs.
+func (w *Watch) tick() {
+	e := w.e
+	migrated := e.Stats.Migrations != w.lastMig
+	evalNow := e.step%w.cadence == 0
+	if !migrated && !evalNow {
+		return
+	}
+	// Decode current positions and measure the drift accumulated since
+	// the last migration with the trajectory diagnostic (two frames:
+	// reference, current).
+	for i, p := range e.Pos {
+		w.curPos[i] = e.Coder.Decode(p)
+	}
+	tr := trace.Trajectory{
+		NAtoms: len(w.curPos),
+		Frames: []trace.Frame{{Positions: w.refPos}, {Positions: w.curPos}},
+	}
+	if d := tr.MaxDisplacementPBC(e.Sys.Box); d > w.drift {
+		w.drift = d
+	}
+	if migrated {
+		w.refPos, w.curPos = w.curPos, w.refPos
+		w.lastMig = e.Stats.Migrations
+	}
+	if !evalNow {
+		return
+	}
+	s := health.Sample{
+		Step:            int64(e.step),
+		TotalEnergy:     e.TotalEnergy(),
+		HaveEnergy:      true,
+		MomentumPerAtom: e.momentumPerAtom(),
+		HaveMomentum:    true,
+		HeadroomBits:    e.forceHeadroomBits(),
+		HaveHeadroom:    true,
+		Drift:           w.drift,
+		Slack:           e.MigrationSlack(),
+		HaveDrift:       true,
+	}
+	w.drift = 0
+	if alerts := w.reg.Eval(s); len(alerts) > 0 {
+		w.pending = append(w.pending, alerts...)
+	}
+}
+
+// momentumPerAtom returns |sum m v| / N in amu·Å/fs — exactly zero-drift
+// dynamics would conserve it bit for bit; the fixed-point kicks leave
+// only rounding-level noise.
+func (e *Engine) momentumPerAtom() float64 {
+	var px, py, pz float64
+	n := 0
+	for i, a := range e.Sys.Top.Atoms {
+		if a.Mass == 0 {
+			continue
+		}
+		v := e.Vel[i].Float()
+		px += a.Mass * v.X
+		py += a.Mass * v.Y
+		pz += a.Mass * v.Z
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(px*px+py*py+pz*pz) / float64(n)
+}
+
+// forceHeadroomBits returns the overflow headroom of the widest force
+// accumulator: how many more doublings the largest force-count component
+// could absorb before wrapping (63 with no forces at all). The paper's
+// Figure 4c datapaths are sized so this never approaches zero; the
+// watchdog proves it stays that way.
+func (e *Engine) forceHeadroomBits() float64 {
+	var worst int64
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for i := range e.fShort {
+		f := e.totalForce(i, true)
+		for _, c := range [3]int64{f.X, f.Y, f.Z} {
+			if a := abs(c); a > worst {
+				worst = a
+			}
+		}
+	}
+	if worst == 0 {
+		return 63
+	}
+	return float64(bits.LeadingZeros64(uint64(worst))) - 1
+}
+
+// TelemetrySample bundles the per-step quantities the live telemetry
+// ring plots (one O(N) kinetic-energy pass instead of three separate
+// accessor calls per sample).
+func (e *Engine) TelemetrySample() obs.StepSample {
+	ke := e.KineticEnergy()
+	dof := e.Sys.Top.DegreesOfFreedom()
+	temp := 0.0
+	if dof > 0 {
+		temp = 2 * ke / (float64(dof) * ff.KB)
+	}
+	return obs.StepSample{
+		Step:            int64(e.step),
+		TimeFs:          float64(e.step) * e.Cfg.Dt,
+		Temperature:     temp,
+		KineticEnergy:   ke,
+		PotentialEnergy: e.PotentialEnergy,
+		TotalEnergy:     ke + e.PotentialEnergy,
+	}
+}

@@ -185,12 +185,12 @@ func (e *Engine) flushPairBatch(b *pairBatch, buf []Force3, energy *float64, st 
 	}
 	st.RecordFlush(b.n, pairBatchSize)
 	out := b.out[:b.n]
-	if e.rec == nil {
+	if e.rec == nil && e.trc == nil {
 		e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
 	} else {
-		t0 := e.rec.Now()
+		t0 := e.obsNow()
 		e.Pipe.PairForceBatch(b.ds[:b.n], b.params[:b.n], out)
-		st.PPIPNs += e.rec.Now() - t0
+		st.PPIPNs += e.obsNow() - t0
 	}
 	track := e.Cfg.TrackVirial
 	for n := range out {
@@ -341,6 +341,11 @@ func (e *Engine) rangeLimitedForces() float64 {
 		e.rec.Add(obs.CtrBatchPairs, merged.BatchPairs)
 		e.rec.AddOccupancy(merged.Occupancy)
 		e.rec.AddPhaseBatch(obs.PhasePairPPIP, merged.PPIPNs, merged.BatchFlushes)
+	}
+	if e.trc != nil {
+		for w := 0; w < workers; w++ {
+			e.trc.AddWorker(w, e.workerTallies[w].PPIPNs, e.workerTallies[w].BatchFlushes)
+		}
 	}
 	return energy
 }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"anton/internal/obs"
+	"anton/internal/obs/health"
+)
+
+// attachFullObservability wires every observability layer to an engine:
+// recorder, tracer with simulated node lanes, and the health watch.
+func attachFullObservability(e *Engine) (*obs.Recorder, *obs.Tracer, *Watch) {
+	rec := obs.NewRecorder()
+	rec.EnableMemStats()
+	e.Observe(rec)
+	tr := obs.NewTracer(8192)
+	tr.EnableNodeLanes(10)
+	e.Trace(tr)
+	w := NewWatch(e, health.DefaultConfig(), 5)
+	return rec, tr, w
+}
+
+// TestTraceWatchBitwiseInvariance extends the zero-perturbation contract
+// to the full observability stack: a 120-step run with the recorder, the
+// step tracer (node lanes on, so Comm() and the machine model run
+// mid-flight) and the health watchdogs all attached must be bitwise
+// identical to a bare run.
+func TestTraceWatchBitwiseInvariance(t *testing.T) {
+	plain := smallWaterEngine(t, 8, nil)
+	plain.Step(120)
+	pp, vp := plain.Snapshot()
+
+	observed := smallWaterEngine(t, 8, nil)
+	rec, tr, w := attachFullObservability(observed)
+	observed.Step(120)
+	po, vo := observed.Snapshot()
+
+	for i := range pp {
+		if pp[i] != po[i] || vp[i] != vo[i] {
+			t.Fatalf("observability stack perturbed the trajectory at atom %d", i)
+		}
+	}
+	if rec.Steps() != 120 {
+		t.Errorf("recorder saw %d steps, want 120", rec.Steps())
+	}
+	if len(tr.Spans()) == 0 {
+		t.Error("tracer recorded no spans")
+	}
+	if w.Registry().Worst() > health.SevWarn {
+		t.Errorf("watchdogs latched %v on a healthy thermostatted run", w.Registry().Worst())
+	}
+}
+
+// TestEngineTraceExportValid drives a real engine and validates the
+// exported Chrome trace: parses, monotonic non-negative timestamps, and
+// stable pid/tid lanes for the engine, its force workers, and every
+// simulated node.
+func TestEngineTraceExportValid(t *testing.T) {
+	e := smallWaterEngine(t, 8, nil)
+	tr := obs.NewTracer(8192)
+	tr.EnableNodeLanes(10)
+	e.Trace(tr)
+	e.Step(40)
+
+	raw, err := tr.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData["schemaVersion"] != obs.SchemaVersion {
+		t.Errorf("schemaVersion %q", doc.OtherData["schemaVersion"])
+	}
+	lastTS := -1.0
+	nodePids := map[int64]bool{}
+	workerLanes := map[int64]bool{}
+	phaseNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.TS < 0 || ev.TS < lastTS {
+			t.Fatalf("timestamps broken at %q: %f after %f", ev.Name, ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		switch {
+		case ev.Pid >= obs.PidNodeBase:
+			nodePids[ev.Pid] = true
+		case ev.Pid == obs.PidEngine && ev.Tid >= obs.TidWorkerBase:
+			workerLanes[ev.Tid] = true
+		case ev.Pid == obs.PidEngine && ev.Tid == obs.TidPhases:
+			phaseNames[ev.Name] = true
+		}
+	}
+	if len(nodePids) != e.grid.NumBoxes() {
+		t.Errorf("node lanes for %d pids, want %d", len(nodePids), e.grid.NumBoxes())
+	}
+	if len(workerLanes) == 0 {
+		t.Error("no force-worker lanes in the export")
+	}
+	for _, want := range []string{
+		obs.PhasePairMatch.String(), obs.PhaseFFT.String(), obs.PhaseIntegration.String(),
+	} {
+		if !phaseNames[want] {
+			t.Errorf("phase lane missing %q spans", want)
+		}
+	}
+}
+
+// TestTraceDeterministicTimeline: two identical runs produce identical
+// structural timelines — names, lanes, virtual timestamps and durations
+// all match even though measured wall times differ between runs.
+func TestTraceDeterministicTimeline(t *testing.T) {
+	run := func() []obs.Span {
+		e := smallWaterEngine(t, 8, nil)
+		tr := obs.NewTracer(8192)
+		tr.EnableNodeLanes(10)
+		e.Trace(tr)
+		e.Step(30)
+		return tr.Spans()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Pid != b[i].Pid || a[i].Tid != b[i].Tid ||
+			a[i].TS != b[i].TS || a[i].Dur != b[i].Dur ||
+			a[i].Step != b[i].Step || a[i].ModelNs != b[i].ModelNs {
+			t.Fatalf("span %d structurally differs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWatchHealthySoak: 200 NVE steps of a healthy charged fluid with the
+// default thresholds must fire zero alerts — the watchdog's false-positive
+// contract.
+func TestWatchHealthySoak(t *testing.T) {
+	e := ionicEngine(t, 8, nil)
+	w := NewWatch(e, health.DefaultConfig(), 5)
+	e.Step(200)
+	if alerts := w.Drain(); len(alerts) != 0 {
+		t.Fatalf("healthy NVE soak fired %d alerts: %+v", len(alerts), alerts)
+	}
+	if worst := w.Registry().Worst(); worst != health.SevOK {
+		t.Errorf("latched severity %v after a healthy soak", worst)
+	}
+	st := w.Registry().Status(obs.SchemaVersion)
+	for _, m := range st.Monitors {
+		if !m.Seen {
+			t.Errorf("monitor %q never evaluated over the soak", m.Name)
+		}
+	}
+	if st.Evals == 0 {
+		t.Fatal("watch never sampled")
+	}
+}
+
+// TestWatchInjectedThreshold: dropping the slack thresholds below the
+// engine's routine inter-migration drift must fire the migration-slack
+// monitor — once, despite every subsequent sample staying elevated.
+func TestWatchInjectedThreshold(t *testing.T) {
+	e := ionicEngine(t, 8, nil)
+	cfg := health.DefaultConfig()
+	cfg.SlackWarn = 1e-3 // routine drift ratio is ~0.1: far above both
+	cfg.SlackCrit = 2e-3
+	w := NewWatch(e, cfg, 5)
+	e.Step(100)
+
+	alerts := w.Drain()
+	if len(alerts) != 1 {
+		t.Fatalf("injected threshold fired %d alerts, want exactly 1 (hysteresis): %+v",
+			len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.Monitor != "migration-slack" || a.Severity != health.SevCrit {
+		t.Fatalf("unexpected alert %+v", a)
+	}
+	if a.Message == "" || a.Value <= a.Threshold {
+		t.Errorf("malformed alert %+v", a)
+	}
+	if w.Registry().Fired(health.SevCrit) != 1 {
+		t.Errorf("crit fired %d times, want 1", w.Registry().Fired(health.SevCrit))
+	}
+}

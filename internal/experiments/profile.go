@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -12,6 +13,46 @@ import (
 	"anton/internal/trace"
 )
 
+// PhaseGroupProfile is one row of the measured-vs-model comparison: a
+// group of engine pipeline phases matched to one machine-model task row.
+type PhaseGroupProfile struct {
+	Name        string  `json:"name"`
+	MeasuredNs  int64   `json:"measured_ns"`
+	MeasuredPct float64 `json:"measured_pct"`
+	ModelUs     float64 `json:"model_us"`
+	ModelPct    float64 `json:"model_pct"`
+}
+
+// ProfileData is the structured result of the profile experiment — the
+// same numbers the text report prints, in the committed BENCH_obs.json
+// record. Schema follows the observability wire version so trace and
+// profile artifacts version together.
+type ProfileData struct {
+	Schema string `json:"schema"`
+	System string `json:"system"`
+	Atoms  int    `json:"atoms"`
+	Steps  int    `json:"steps"`
+	Nodes  int    `json:"nodes"`
+
+	Groups []PhaseGroupProfile `json:"phase_groups"`
+
+	MatchEfficiencyMeasured float64 `json:"match_efficiency_measured"`
+	MatchEfficiencyModel    float64 `json:"match_efficiency_model"`
+	Subdiv                  int     `json:"subdiv"`
+	MeanBatchOccupancy      float64 `json:"mean_batch_occupancy"`
+
+	MigrationDriftA   float64 `json:"migration_drift_a"`
+	MigrationInterval int     `json:"migration_interval"`
+	ResidencySlackA   float64 `json:"residency_slack_a"`
+
+	ForcedMigrations int64 `json:"forced_migrations"`
+	TotalMigrations  int64 `json:"total_migrations"`
+
+	MemTracked     bool    `json:"mem_tracked"`
+	MallocsPerStep float64 `json:"mallocs_per_step,omitempty"`
+	NumGC          int64   `json:"num_gc,omitempty"`
+}
+
 // ProfileMeasured runs the fixed-point core engine with the observability
 // layer attached and compares the measured per-phase execution profile
 // against the calibrated Anton machine model's prediction for the same
@@ -20,20 +61,53 @@ import (
 // 512 ASICs), so the comparison is over phase *shares* of the force
 // pipeline, where the workload ratios should agree to first order.
 func ProfileMeasured(steps int) (string, error) {
-	s, err := system.Small(true, 77)
+	d, err := defaultProfileData(steps)
 	if err != nil {
 		return "", err
 	}
-	return profileMeasured(s, steps, 8)
+	return renderProfile(d), nil
+}
+
+// ProfileJSON runs the profile experiment and returns the structured
+// record as indented JSON — the generator of the committed
+// BENCH_obs.json artifact (make bench-obs).
+func ProfileJSON(steps int) ([]byte, error) {
+	d, err := defaultProfileData(steps)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func defaultProfileData(steps int) (*ProfileData, error) {
+	s, err := system.Small(true, 77)
+	if err != nil {
+		return nil, err
+	}
+	return profileData(s, steps, 8)
 }
 
 // profileMeasured is the system-parameterized worker behind
 // ProfileMeasured, shared with the package tests.
 func profileMeasured(s *system.System, steps, nodes int) (string, error) {
+	d, err := profileData(s, steps, nodes)
+	if err != nil {
+		return "", err
+	}
+	return renderProfile(d), nil
+}
+
+// profileData runs the instrumented engine and collects the structured
+// measured-vs-model profile.
+func profileData(s *system.System, steps, nodes int) (*ProfileData, error) {
 	cfg := core.DefaultConfig(nodes)
 	e, err := core.NewEngine(s, cfg)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(7))
 	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
@@ -47,7 +121,7 @@ func profileMeasured(s *system.System, steps, nodes int) (string, error) {
 	// residency slack must absorb.
 	tr := trace.New(s.NAtoms())
 	if err := tr.Record(0, 0, e.Positions(), 0); err != nil {
-		return "", err
+		return nil, err
 	}
 	interval := cfg.MigrationInterval
 	for done := 0; done < steps; done += interval {
@@ -57,7 +131,7 @@ func profileMeasured(s *system.System, steps, nodes int) (string, error) {
 		}
 		e.Step(n)
 		if err := tr.Record(e.StepCount(), float64(e.StepCount())*cfg.Dt, e.Positions(), 0); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
 	snap := rec.Snapshot()
@@ -69,7 +143,7 @@ func profileMeasured(s *system.System, steps, nodes int) (string, error) {
 	w.MTSInterval = cfg.MTSInterval
 	m, err := machine.New(nodes)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	pred := machine.DefaultModel.Estimate(m, w)
 
@@ -81,51 +155,83 @@ func profileMeasured(s *system.System, steps, nodes int) (string, error) {
 		}
 		return t
 	}
-	groups := []struct {
-		name      string
-		measured  int64
-		predicted float64
-	}{
-		{"range-limited", ns(obs.PhasePairGather, obs.PhasePairMatch, obs.PhasePairReduce), pred.RangeLimited},
-		{"FFT", ns(obs.PhaseFFT), pred.FFT},
-		{"mesh spread+interp", ns(obs.PhaseMeshSpread, obs.PhaseMeshInterp), pred.MeshInterp},
-		{"corrections", ns(obs.PhasePair14, obs.PhaseExclusion), pred.Correction},
-		{"bonded", ns(obs.PhaseBonded), pred.Bonded},
-		{"integration+constr", ns(obs.PhaseIntegration, obs.PhaseConstraints), pred.Integration},
+	groups := []PhaseGroupProfile{
+		{Name: "range-limited", MeasuredNs: ns(obs.PhasePairGather, obs.PhasePairMatch, obs.PhasePairReduce), ModelUs: pred.RangeLimited * 1e6},
+		{Name: "FFT", MeasuredNs: ns(obs.PhaseFFT), ModelUs: pred.FFT * 1e6},
+		{Name: "mesh spread+interp", MeasuredNs: ns(obs.PhaseMeshSpread, obs.PhaseMeshInterp), ModelUs: pred.MeshInterp * 1e6},
+		{Name: "corrections", MeasuredNs: ns(obs.PhasePair14, obs.PhaseExclusion), ModelUs: pred.Correction * 1e6},
+		{Name: "bonded", MeasuredNs: ns(obs.PhaseBonded), ModelUs: pred.Bonded * 1e6},
+		{Name: "integration+constr", MeasuredNs: ns(obs.PhaseIntegration, obs.PhaseConstraints), ModelUs: pred.Integration * 1e6},
 	}
 	var measTotal int64
 	var predTotal float64
 	for _, g := range groups {
-		measTotal += g.measured
-		predTotal += g.predicted
+		measTotal += g.MeasuredNs
+		predTotal += g.ModelUs
+	}
+	for i := range groups {
+		if measTotal > 0 {
+			groups[i].MeasuredPct = 100 * float64(groups[i].MeasuredNs) / float64(measTotal)
+		}
+		if predTotal > 0 {
+			groups[i].ModelPct = 100 * groups[i].ModelUs / predTotal
+		}
 	}
 
+	d := &ProfileData{
+		Schema: obs.SchemaVersion,
+		System: s.Name,
+		Atoms:  s.NAtoms(),
+		Steps:  steps,
+		Nodes:  nodes,
+		Groups: groups,
+
+		MatchEfficiencyMeasured: snap.MatchEfficiency,
+		MatchEfficiencyModel:    pred.MatchEfficiency,
+		Subdiv:                  pred.Subdiv,
+		MeanBatchOccupancy:      snap.MeanOccupancy,
+
+		MigrationDriftA:   tr.MaxDisplacementPBC(s.Box),
+		MigrationInterval: interval,
+		ResidencySlackA:   e.MigrationSlack(),
+
+		ForcedMigrations: snap.Counters[obs.CtrResidencyMigrations].Value,
+		TotalMigrations:  snap.Counters[obs.CtrMigrations].Value,
+
+		MemTracked: snap.Mem.Tracked,
+	}
+	if snap.Mem.Tracked {
+		d.MallocsPerStep = snap.Mem.MallocsPerStep
+		d.NumGC = snap.Mem.NumGC
+	}
+	return d, nil
+}
+
+// renderProfile formats the structured profile as the experiment's
+// plain-text report.
+func renderProfile(d *ProfileData) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Measured vs machine-model-predicted phase profile (%s, %d atoms, %d steps, %d nodes):\n",
-		s.Name, s.NAtoms(), steps, nodes)
+		d.System, d.Atoms, d.Steps, d.Nodes)
 	fmt.Fprintf(&b, "%-20s %12s %8s   %12s %8s\n", "phase group", "meas ms", "share", "model us", "share")
-	for _, g := range groups {
+	for _, g := range d.Groups {
 		fmt.Fprintf(&b, "%-20s %12.2f %7.1f%%   %12.3f %7.1f%%\n",
-			g.name,
-			float64(g.measured)/1e6, 100*float64(g.measured)/float64(measTotal),
-			g.predicted*1e6, 100*g.predicted/predTotal)
+			g.Name, float64(g.MeasuredNs)/1e6, g.MeasuredPct, g.ModelUs, g.ModelPct)
 	}
 	fmt.Fprintf(&b, "(shares are of the force-pipeline total; absolute scales differ by design)\n\n")
 	fmt.Fprintf(&b, "match efficiency: measured %.1f%%, model estimate %.1f%% (subdiv %d)\n",
-		100*snap.MatchEfficiency, 100*pred.MatchEfficiency, pred.Subdiv)
-	fmt.Fprintf(&b, "mean PPIP batch occupancy: %.1f%%\n", 100*snap.MeanOccupancy)
+		100*d.MatchEfficiencyMeasured, 100*d.MatchEfficiencyModel, d.Subdiv)
+	fmt.Fprintf(&b, "mean PPIP batch occupancy: %.1f%%\n", 100*d.MeanBatchOccupancy)
 
 	// Residency safety margin: the slack must comfortably exceed the
 	// worst per-migration-interval drift.
-	drift := tr.MaxDisplacementPBC(s.Box)
-	slack := e.MigrationSlack()
 	fmt.Fprintf(&b, "migration-interval drift: max %.3f A per %d steps vs %.3f A residency slack (%.0f%% headroom)\n",
-		drift, interval, slack, 100*(slack-drift)/slack)
-	forced := snap.Counters[obs.CtrResidencyMigrations].Value
-	fmt.Fprintf(&b, "forced early migrations: %d of %d\n", forced, snap.Counters[obs.CtrMigrations].Value)
-	if snap.Mem.Tracked {
+		d.MigrationDriftA, d.MigrationInterval, d.ResidencySlackA,
+		100*(d.ResidencySlackA-d.MigrationDriftA)/d.ResidencySlackA)
+	fmt.Fprintf(&b, "forced early migrations: %d of %d\n", d.ForcedMigrations, d.TotalMigrations)
+	if d.MemTracked {
 		fmt.Fprintf(&b, "allocations: %.1f/step (%d GCs over the run)\n",
-			snap.Mem.MallocsPerStep, snap.Mem.NumGC)
+			d.MallocsPerStep, d.NumGC)
 	}
-	return b.String(), nil
+	return b.String()
 }

@@ -45,11 +45,11 @@ type Pipeline struct {
 	// Per-pipeline constants hoisted out of the per-pair datapath (the
 	// hardware bakes these into the table build and datapath wiring; the
 	// software model must not pay an Erfc and several Pow calls per pair).
-	rc2       float64 // Cutoff^2
-	l2        float64 // BoxL^2
-	eShift    float64 // Erfc(Cutoff/(sqrt2*Sigma))/Cutoff: elec energy shift
-	invR6     float64 // Cutoff^-6
-	invR8     float64 // Cutoff^-8
+	rc2    float64 // Cutoff^2
+	l2     float64 // BoxL^2
+	eShift float64 // Erfc(Cutoff/(sqrt2*Sigma))/Cutoff: elec energy shift
+	invR6  float64 // Cutoff^-6
+	invR8  float64 // Cutoff^-8
 	invR12 float64 // Cutoff^-12
 	invR14 float64 // Cutoff^-14
 }

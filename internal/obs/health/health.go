@@ -1,0 +1,435 @@
+// Package health is the simulation health-watchdog subsystem: a registry
+// of invariant monitors evaluated on a fixed cadence against samples of
+// the running engine's state, emitting structured, severity-ranked alert
+// events with hysteresis. The monitors watch the invariants that certify
+// a long run is not silently wrong — the paper's energy-conservation,
+// reversibility and parallel-invariance story turned into live checks:
+//
+//   - relative total-energy drift against the run's baseline (NVE only —
+//     a thermostatted run exchanges energy by design);
+//   - net-momentum conservation (per-atom drift from the baseline);
+//   - fixed-point overflow headroom of the force accumulators, in bits;
+//   - migration-slack margin: measured inter-migration drift as a
+//     fraction of the engine's residency slack.
+//
+// Hysteresis: each monitor latches its worst severity and fires exactly
+// one alert per upward threshold crossing; it re-arms only after the
+// value retreats past threshold*Rearm, so a value oscillating around a
+// threshold cannot flood the alert ring.
+//
+// The package is engine-agnostic: it consumes plain-float Samples, so it
+// has no dependency on the core packages and tests can inject synthetic
+// failures.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Severity ranks an alert or a monitor's latched state.
+type Severity int
+
+// Severity levels, ordered.
+const (
+	SevOK Severity = iota
+	SevWarn
+	SevCrit
+)
+
+// String returns the stable lowercase name.
+func (s Severity) String() string {
+	switch s {
+	case SevOK:
+		return "ok"
+	case SevWarn:
+		return "warn"
+	case SevCrit:
+		return "critical"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its stable name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the stable name back (round-trip for consumers of
+// the /healthz document).
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "ok":
+		*s = SevOK
+	case "warn":
+		*s = SevWarn
+	case "critical":
+		*s = SevCrit
+	default:
+		return fmt.Errorf("health: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Alert is one structured watchdog event.
+type Alert struct {
+	Step      int64    `json:"step"`
+	Monitor   string   `json:"monitor"`
+	Severity  Severity `json:"severity"`
+	Value     float64  `json:"value"`
+	Threshold float64  `json:"threshold"`
+	Message   string   `json:"message"`
+}
+
+// Sample is one observation of the engine's invariants. The Have* flags
+// let a caller omit quantities it cannot provide (e.g. energy drift is
+// meaningless under a thermostat); monitors skip absent values.
+type Sample struct {
+	Step int64
+
+	TotalEnergy float64 // conserved quantity, kcal/mol
+	HaveEnergy  bool
+
+	MomentumPerAtom float64 // |sum m v| / N, amu Å/fs
+	HaveMomentum    bool
+
+	HeadroomBits float64 // log2 headroom of the widest force accumulator
+	HaveHeadroom bool
+
+	Drift     float64 // max single-atom drift since last migration, Å
+	Slack     float64 // the engine's residency slack, Å
+	HaveDrift bool
+}
+
+// Monitor is one watched invariant with warn/crit thresholds and latched
+// hysteresis state. Value extraction lives in the closure so the monitor
+// set is data-driven and extensible.
+type Monitor struct {
+	Name      string
+	Unit      string
+	Warn      float64
+	Crit      float64
+	HigherBad bool    // true: alert when value rises past thresholds
+	Rearm     float64 // re-arm fraction in (0,1]; see package comment
+
+	value func(*Registry, Sample) (float64, bool)
+
+	level Severity
+	last  float64
+	seen  bool
+}
+
+// severityOf classifies a value against the firing thresholds.
+func (m *Monitor) severityOf(v float64) Severity {
+	if m.HigherBad {
+		switch {
+		case v >= m.Crit:
+			return SevCrit
+		case v >= m.Warn:
+			return SevWarn
+		}
+		return SevOK
+	}
+	switch {
+	case v <= m.Crit:
+		return SevCrit
+	case v <= m.Warn:
+		return SevWarn
+	}
+	return SevOK
+}
+
+// releaseSeverityOf classifies a value against the re-arm thresholds
+// (threshold*Rearm for rising monitors, threshold/Rearm for falling
+// ones): the level a latched monitor may relax to.
+func (m *Monitor) releaseSeverityOf(v float64) Severity {
+	r := m.Rearm
+	if r <= 0 || r > 1 {
+		r = 1
+	}
+	if m.HigherBad {
+		switch {
+		case v >= m.Crit*r:
+			return SevCrit
+		case v >= m.Warn*r:
+			return SevWarn
+		}
+		return SevOK
+	}
+	switch {
+	case v <= m.Crit/r:
+		return SevCrit
+	case v <= m.Warn/r:
+		return SevWarn
+	}
+	return SevOK
+}
+
+// eval updates the hysteresis state for one sample value and returns the
+// fired alert, if any.
+func (m *Monitor) eval(step int64, v float64) (Alert, bool) {
+	m.last = v
+	m.seen = true
+	target := m.severityOf(v)
+	if target > m.level {
+		m.level = target
+		thr := m.Warn
+		if target == SevCrit {
+			thr = m.Crit
+		}
+		return Alert{
+			Step:      step,
+			Monitor:   m.Name,
+			Severity:  target,
+			Value:     v,
+			Threshold: thr,
+			Message: fmt.Sprintf("%s %s: %.4g %s crossed %.4g",
+				m.Name, target, v, m.Unit, thr),
+		}, true
+	}
+	if rel := m.releaseSeverityOf(v); rel < m.level {
+		m.level = rel // silent re-arm
+	}
+	return Alert{}, false
+}
+
+// Config tunes the default monitor set.
+type Config struct {
+	// EnergyWarn/Crit are relative total-energy drift thresholds
+	// (|E-E0| / max(1,|E0|)).
+	EnergyWarn, EnergyCrit float64
+	// DisableEnergy drops the energy monitor (thermostatted runs).
+	DisableEnergy bool
+
+	// MomentumWarn/Crit bound the per-atom net-momentum drift from the
+	// baseline, amu Å/fs.
+	MomentumWarn, MomentumCrit float64
+
+	// HeadroomWarnBits/CritBits are minimum acceptable overflow headroom
+	// of the force accumulators, in bits (falling monitor).
+	HeadroomWarnBits, HeadroomCritBits float64
+
+	// SlackWarn/Crit bound the drift/slack ratio: 1.0 means an atom used
+	// the entire residency slack between migrations.
+	SlackWarn, SlackCrit float64
+
+	// Rearm is the hysteresis re-arm fraction (default 0.8).
+	Rearm float64
+
+	// MaxAlerts bounds the alert ring (default 256).
+	MaxAlerts int
+}
+
+// DefaultConfig returns production thresholds: generous enough that a
+// healthy fixed-point NVE run stays silent indefinitely, tight enough
+// that a drifting invariant fires long before the trajectory is garbage.
+func DefaultConfig() Config {
+	return Config{
+		EnergyWarn:       2e-3,
+		EnergyCrit:       2e-2,
+		MomentumWarn:     1e-4,
+		MomentumCrit:     1e-2,
+		HeadroomWarnBits: 8,
+		HeadroomCritBits: 2,
+		SlackWarn:        0.6,
+		SlackCrit:        1.0,
+		Rearm:            0.8,
+		MaxAlerts:        256,
+	}
+}
+
+// Registry evaluates a monitor set against samples and keeps a bounded
+// ring of fired alerts. Not safe for concurrent use; the owner publishes
+// Status() copies to concurrent readers.
+type Registry struct {
+	monitors []*Monitor
+
+	alerts    []Alert // ring
+	alertHead int
+	alertN    int
+	fired     [SevCrit + 1]int64
+
+	baseE     float64
+	haveBaseE bool
+	baseP     float64
+	haveBaseP bool
+	evals     int64
+}
+
+// New builds a registry with the standard monitor set for cfg.
+func New(cfg Config) *Registry {
+	def := DefaultConfig()
+	if cfg.Rearm == 0 {
+		cfg.Rearm = def.Rearm
+	}
+	if cfg.MaxAlerts == 0 {
+		cfg.MaxAlerts = def.MaxAlerts
+	}
+	r := &Registry{alerts: make([]Alert, cfg.MaxAlerts)}
+	if !cfg.DisableEnergy {
+		r.AddMonitor(&Monitor{
+			Name: "energy-drift", Unit: "rel",
+			Warn: cfg.EnergyWarn, Crit: cfg.EnergyCrit,
+			HigherBad: true, Rearm: cfg.Rearm,
+			value: func(r *Registry, s Sample) (float64, bool) {
+				if !s.HaveEnergy {
+					return 0, false
+				}
+				if !r.haveBaseE {
+					r.baseE = s.TotalEnergy
+					r.haveBaseE = true
+				}
+				return math.Abs(s.TotalEnergy-r.baseE) / math.Max(1, math.Abs(r.baseE)), true
+			},
+		})
+	}
+	r.AddMonitor(&Monitor{
+		Name: "net-momentum", Unit: "amu·Å/fs per atom",
+		Warn: cfg.MomentumWarn, Crit: cfg.MomentumCrit,
+		HigherBad: true, Rearm: cfg.Rearm,
+		value: func(r *Registry, s Sample) (float64, bool) {
+			if !s.HaveMomentum {
+				return 0, false
+			}
+			if !r.haveBaseP {
+				r.baseP = s.MomentumPerAtom
+				r.haveBaseP = true
+			}
+			return math.Abs(s.MomentumPerAtom - r.baseP), true
+		},
+	})
+	r.AddMonitor(&Monitor{
+		Name: "overflow-headroom", Unit: "bits",
+		Warn: cfg.HeadroomWarnBits, Crit: cfg.HeadroomCritBits,
+		HigherBad: false, Rearm: cfg.Rearm,
+		value: func(_ *Registry, s Sample) (float64, bool) {
+			return s.HeadroomBits, s.HaveHeadroom
+		},
+	})
+	r.AddMonitor(&Monitor{
+		Name: "migration-slack", Unit: "drift/slack",
+		Warn: cfg.SlackWarn, Crit: cfg.SlackCrit,
+		HigherBad: true, Rearm: cfg.Rearm,
+		value: func(_ *Registry, s Sample) (float64, bool) {
+			if !s.HaveDrift || s.Slack <= 0 {
+				return 0, false
+			}
+			return s.Drift / s.Slack, true
+		},
+	})
+	return r
+}
+
+// AddMonitor appends a custom monitor (tests and extensions). A monitor
+// without a value closure reads nothing and never fires.
+func (r *Registry) AddMonitor(m *Monitor) { r.monitors = append(r.monitors, m) }
+
+// Eval evaluates every monitor against one sample and returns the alerts
+// fired by this sample, ranked most severe first (ties keep monitor
+// registration order).
+func (r *Registry) Eval(s Sample) []Alert {
+	r.evals++
+	var fired []Alert
+	for _, m := range r.monitors {
+		if m.value == nil {
+			continue
+		}
+		v, ok := m.value(r, s)
+		if !ok {
+			continue
+		}
+		if a, hit := m.eval(s.Step, v); hit {
+			fired = append(fired, a)
+		}
+	}
+	// Severity-ranked: critical alerts lead. Insertion sort keeps the
+	// (tiny) slice stable without allocations.
+	for i := 1; i < len(fired); i++ {
+		for j := i; j > 0 && fired[j].Severity > fired[j-1].Severity; j-- {
+			fired[j], fired[j-1] = fired[j-1], fired[j]
+		}
+	}
+	for _, a := range fired {
+		r.pushAlert(a)
+	}
+	return fired
+}
+
+func (r *Registry) pushAlert(a Alert) {
+	r.alerts[r.alertHead] = a
+	r.alertHead = (r.alertHead + 1) % len(r.alerts)
+	if r.alertN < len(r.alerts) {
+		r.alertN++
+	}
+	r.fired[a.Severity]++
+}
+
+// Alerts returns the retained alerts oldest-first (copied).
+func (r *Registry) Alerts() []Alert {
+	out := make([]Alert, 0, r.alertN)
+	start := r.alertHead - r.alertN
+	if start < 0 {
+		start += len(r.alerts)
+	}
+	for i := 0; i < r.alertN; i++ {
+		out = append(out, r.alerts[(start+i)%len(r.alerts)])
+	}
+	return out
+}
+
+// Fired returns how many alerts of the given severity have fired over
+// the registry's lifetime (unaffected by ring eviction).
+func (r *Registry) Fired(s Severity) int64 {
+	if s < 0 || int(s) >= len(r.fired) {
+		return 0
+	}
+	return r.fired[s]
+}
+
+// Worst returns the highest currently-latched monitor severity.
+func (r *Registry) Worst() Severity {
+	w := SevOK
+	for _, m := range r.monitors {
+		if m.level > w {
+			w = m.level
+		}
+	}
+	return w
+}
+
+// MonitorStatus is one monitor's rendered state.
+type MonitorStatus struct {
+	Name  string   `json:"name"`
+	Unit  string   `json:"unit"`
+	Level Severity `json:"level"`
+	Value float64  `json:"value"`
+	Warn  float64  `json:"warn"`
+	Crit  float64  `json:"crit"`
+	Seen  bool     `json:"seen"`
+}
+
+// Status is the registry's full rendered state — the /healthz document.
+type Status struct {
+	Schema   string          `json:"schema"`
+	Worst    Severity        `json:"status"`
+	Evals    int64           `json:"evals"`
+	Monitors []MonitorStatus `json:"monitors"`
+	Alerts   []Alert         `json:"alerts"`
+}
+
+// Status renders the registry (a value copy, safe to publish across
+// goroutines).
+func (r *Registry) Status(schema string) Status {
+	st := Status{Schema: schema, Worst: r.Worst(), Evals: r.evals}
+	for _, m := range r.monitors {
+		st.Monitors = append(st.Monitors, MonitorStatus{
+			Name: m.Name, Unit: m.Unit, Level: m.level,
+			Value: m.last, Warn: m.Warn, Crit: m.Crit, Seen: m.seen,
+		})
+	}
+	st.Alerts = r.Alerts()
+	return st
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger shared by the cmd tools:
+// format "json" emits one JSON object per line (machine ingestion),
+// anything else the human-readable text handler. verbose lowers the
+// level to debug.
+func NewLogger(w io.Writer, format string, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}

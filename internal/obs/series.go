@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// StepSample is one per-step entry of the live telemetry time series:
+// the thermodynamic state a dashboard plots against step index.
+type StepSample struct {
+	Step            int64   `json:"step"`
+	TimeFs          float64 `json:"time_fs"`
+	Temperature     float64 `json:"temperature_k"`
+	TotalEnergy     float64 `json:"total_energy"`
+	PotentialEnergy float64 `json:"potential_energy"`
+	KineticEnergy   float64 `json:"kinetic_energy"`
+}
+
+// Series is a bounded ring of per-step samples. Unlike the Recorder it
+// is internally locked: the simulation loop appends while HTTP handlers
+// read concurrently.
+type Series struct {
+	mu    sync.Mutex
+	ring  []StepSample
+	head  int
+	count int
+	total int64
+}
+
+// NewSeries builds a series retaining the last capacity samples
+// (minimum 16).
+func NewSeries(capacity int) *Series {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Series{ring: make([]StepSample, capacity)}
+}
+
+// Append records one sample, evicting the oldest at capacity.
+func (s *Series) Append(sm StepSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ring[s.head] = sm
+	s.head = (s.head + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+	s.total++
+}
+
+// Latest returns the most recent sample.
+func (s *Series) Latest() (StepSample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return StepSample{}, false
+	}
+	i := s.head - 1
+	if i < 0 {
+		i += len(s.ring)
+	}
+	return s.ring[i], true
+}
+
+// Snapshot returns the retained samples oldest-first (copied).
+func (s *Series) Snapshot() []StepSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StepSample, 0, s.count)
+	start := s.head - s.count
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Total returns the number of samples ever appended.
+func (s *Series) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

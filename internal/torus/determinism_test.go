@@ -1,0 +1,83 @@
+package torus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestNetworkDeterministicStats is the determinism regression for the
+// comm model: replaying the same traffic pattern — Route, Send,
+// Multicast, AllToAllRow — must yield byte-identical Collect() stats on
+// every repetition. The simulated node lanes of the step tracer and the
+// Comm() report both derive timestamps from these stats, so any
+// map-iteration or ordering nondeterminism here would leak into exported
+// artifacts.
+func TestNetworkDeterministicStats(t *testing.T) {
+	replay := func() ([]byte, error) {
+		n, err := New([3]int{4, 4, 2})
+		if err != nil {
+			return nil, err
+		}
+		nodes := n.Nodes()
+		// A deterministic mixed workload touching every code path:
+		// point-to-point sends, overlapping multicasts, and a row
+		// all-to-all, interleaved with mid-stream Collect calls (Collect
+		// must not mutate accumulated state).
+		for src := 0; src < nodes; src++ {
+			n.Send(src, (src*7+3)%nodes, 512+src)
+		}
+		for src := 0; src < nodes; src += 3 {
+			dsts := []int{(src + 1) % nodes, (src + 5) % nodes, (src + 9) % nodes, src}
+			n.Multicast(src, dsts, 128)
+		}
+		mid := n.Collect()
+		n.AllToAllRow(0, 4096)
+		fin := n.Collect()
+		return json.Marshal([]Stats{mid, fin})
+	}
+
+	first, err := replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || first[0] != '[' {
+		t.Fatalf("bad stats encoding: %q", first)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := replay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("replay %d produced different stats:\n  %s\n  %s", i, first, again)
+		}
+	}
+}
+
+// TestRouteDeterministic: repeated Route calls for the same pair return
+// the identical hop sequence, and routing does not perturb traffic
+// accounting.
+func TestRouteDeterministic(t *testing.T) {
+	n, err := New([3]int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < n.Nodes(); src += 5 {
+		for dst := 0; dst < n.Nodes(); dst += 7 {
+			a := n.Route(src, dst)
+			b := n.Route(src, dst)
+			if len(a) != len(b) {
+				t.Fatalf("route %d->%d length changed: %d vs %d", src, dst, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("route %d->%d hop %d changed: %+v vs %+v", src, dst, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	if s := n.Collect(); s.Messages != 0 || s.PayloadBytes != 0 {
+		t.Errorf("Route accumulated traffic: %+v", s)
+	}
+}

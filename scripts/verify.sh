@@ -10,10 +10,12 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== race: core + htis + obs + trace =="
+echo "== race: core + htis + obs + health + trace =="
 # -short skips the long soak tests; the invariance and reduction tests
-# that exercise every parallel section still run.
-go test -race -short ./internal/core ./internal/htis ./internal/obs ./internal/trace
+# that exercise every parallel section still run. obs and obs/health also
+# cover the Telemetry surface (locked state read by HTTP handlers).
+go test -race -short ./internal/core ./internal/htis ./internal/obs \
+	./internal/obs/health ./internal/trace
 
 echo "== determinism: repeated runs =="
 # -count=2 executes each determinism-sensitive test twice in one process,
@@ -21,6 +23,15 @@ echo "== determinism: repeated runs =="
 # traversal was one): a single run can pass by luck, two rarely agree.
 go test -count=2 -run \
 	'TestCommDeterministic|TestObsBitwiseInvariance|Deterministic|Bitwise|Invariance' \
-	./internal/core ./internal/fft ./internal/torus
+	./internal/core ./internal/fft ./internal/torus ./internal/obs
+
+echo "== trace export: generate + validate =="
+# Drive a short instrumented run, then validate the exported Chrome
+# trace: parses, round-trips through encoding/json, monotonic ts.
+tracefile="$(mktemp /tmp/anton-trace-XXXXXX.json)"
+trap 'rm -f "$tracefile"' EXIT
+go run ./cmd/antonsim -system small -steps 30 -report 30 \
+	-trace "$tracefile" -trace-nodes -watch >/dev/null
+go run scripts/validate_trace.go "$tracefile"
 
 echo "verify: OK"
