@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair profile trace bench-obs
+.PHONY: build test test-short verify bench-pair profile trace bench-obs shards
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ trace:
 # Regenerate the committed structured profile record (BENCH_obs.json).
 bench-obs:
 	$(GO) run ./cmd/antonbench -profile-json BENCH_obs.json
+
+# Shard-scaling run: throughput and measured message traffic of the
+# sharded virtual-node pipeline at 1/8/64/512 shards, regenerating the
+# committed BENCH_shards.json record.
+shards:
+	$(GO) run ./cmd/antonbench -experiment shards -full
+	$(GO) run ./cmd/antonbench -shards-json BENCH_shards.json -full
 
 # The pair-kernel benchmarks backing BENCH_pairkernel.json.
 bench-pair:

@@ -101,6 +101,13 @@ var registry = []experiment{
 		}
 		return experiments.BPTI(steps)
 	}},
+	{"shards", true, func(full bool) (string, error) {
+		steps := 24
+		if full {
+			steps = 120
+		}
+		return experiments.ShardScaling(steps)
+	}},
 	{"water", true, func(full bool) (string, error) {
 		steps, every := 160, 8
 		if full {
@@ -115,6 +122,7 @@ func main() {
 		which       = flag.String("experiment", "cheap", "experiment name, 'all', or 'cheap' (skip dynamics runs)")
 		full        = flag.Bool("full", false, "use full-length runs for the expensive experiments")
 		profileJSON = flag.String("profile-json", "", "run the profile experiment and write its structured record to this file (the BENCH_obs.json generator)")
+		shardsJSON  = flag.String("shards-json", "", "run the shard-scaling experiment and write its structured record to this file (the BENCH_shards.json generator)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -135,6 +143,24 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("wrote structured profile", "file", *profileJSON, "steps", steps)
+		return
+	}
+
+	if *shardsJSON != "" {
+		steps := 24
+		if *full {
+			steps = 120
+		}
+		b, err := experiments.ShardScalingJSON(steps)
+		if err != nil {
+			logger.Error("shard scaling", "err", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*shardsJSON, b, 0o644); err != nil {
+			logger.Error("write shard scaling", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote shard scaling record", "file", *shardsJSON, "steps", steps)
 		return
 	}
 

@@ -35,6 +35,7 @@ func main() {
 	var (
 		name    = flag.String("system", "gpW", "named system (see -list) or 'small'")
 		nodes   = flag.Int("nodes", 8, "Anton node count to simulate (power of two)")
+		shards  = flag.Int("shards", 0, "run the sharded virtual-node pipeline with this many shards (power of two, overrides -nodes; 0 = monolithic engine)")
 		steps   = flag.Int("steps", 20, "time steps to run")
 		temp    = flag.Float64("temp", 300, "thermostat target temperature, K (0 = NVE)")
 		list    = flag.Bool("list", false, "list available systems and exit")
@@ -90,16 +91,34 @@ func main() {
 	fmt.Printf("system %s: %d particles, %d waters, %d protein atoms, box %.1f Å\n",
 		s.Name, s.NAtoms(), s.Waters, s.ProteinAtoms, s.Box.L.X)
 
+	if *shards > 0 {
+		*nodes = *shards
+	}
 	cfg := core.DefaultConfig(*nodes)
 	if *temp <= 0 {
 		cfg.TauT = 0
 	} else {
 		cfg.TargetT = *temp
 	}
-	eng, err := core.NewEngine(s, cfg)
-	if err != nil {
-		logger.Error("build engine", "err", err)
-		os.Exit(1)
+	// The sharded pipeline wraps the engine: same state, same trajectory,
+	// but each virtual node runs as its own goroutine exchanging messages,
+	// and Comm() gains a measured-transport section.
+	var eng *core.Engine
+	var sh *core.Sharded
+	if *shards > 0 {
+		sh, err = core.NewSharded(s, cfg)
+		if err != nil {
+			logger.Error("build sharded engine", "err", err)
+			os.Exit(1)
+		}
+		defer sh.Close()
+		eng = sh.Engine()
+	} else {
+		eng, err = core.NewEngine(s, cfg)
+		if err != nil {
+			logger.Error("build engine", "err", err)
+			os.Exit(1)
+		}
 	}
 	rng := rand.New(rand.NewSource(2))
 	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
@@ -158,13 +177,20 @@ func main() {
 		}
 	}
 
-	fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
+	step := eng.Step
+	if sh != nil {
+		step = sh.Step
+		fmt.Printf("running %d steps across %d virtual node shards (torus %v)\n",
+			*steps, *shards, eng.Mach.Dims)
+	} else {
+		fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
+	}
 	for done := 0; done < *steps; {
 		n := *every
 		if done+n > *steps {
 			n = *steps - done
 		}
-		eng.Step(n)
+		step(n)
 		done += n
 		fmt.Printf("step %5d: T = %6.1f K   PE = %12.2f   E = %12.2f kcal/mol\n",
 			eng.StepCount(), eng.Temperature(), eng.PotentialEnergy, eng.TotalEnergy())
@@ -234,7 +260,11 @@ func main() {
 	}
 
 	if *comm {
-		rep, err := eng.Comm()
+		commFn := eng.Comm
+		if sh != nil {
+			commFn = sh.Comm // includes the measured transport section
+		}
+		rep, err := commFn()
 		if err != nil {
 			logger.Error("comm report", "err", err)
 			os.Exit(1)

@@ -32,6 +32,10 @@ type CommReport struct {
 
 	MessagesPerNode float64 // all phases combined
 	GCLoad          LoadStats
+
+	// Measured holds the transport traffic a sharded run actually carried
+	// (nil for the purely analytic report of a monolithic engine).
+	Measured *MeasuredComm
 }
 
 // Comm builds the per-step communication picture for the engine's
@@ -167,5 +171,8 @@ func (r *CommReport) String() string {
 		r.BondMessages, r.GCLoad.Imbalance)
 	fmt.Fprintf(&b, "  FFT exchanges:   %6d msgs/node\n", r.FFTMessages)
 	fmt.Fprintf(&b, "  total: %.0f messages per node per step\n", r.MessagesPerNode)
+	if r.Measured != nil {
+		b.WriteString(r.Measured.String())
+	}
 	return b.String()
 }

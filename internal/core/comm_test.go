@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math"
 	"reflect"
 	"testing"
+
+	"anton/internal/system"
 )
 
 // TestCommDeterministic guards the map-iteration bug class: the importer
@@ -10,6 +13,62 @@ import (
 // calls, and both torus.Multicast's first-hop direction choice and the
 // per-channel byte accounting are order-sensitive. Comm must canonicalize
 // the traversal so two calls on the same decomposition agree exactly.
+// TestCommDegenerateNodeCounts covers the edges of the analytic report:
+// a single node has nothing to import or export yet must still produce a
+// finite, printable report, and the smallest real decomposition (2 nodes)
+// must show traffic.
+func TestCommDegenerateNodeCounts(t *testing.T) {
+	solo := smallWaterEngine(t, 1, nil)
+	rep, err := solo.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 1 {
+		t.Fatalf("report claims %d nodes, want 1", rep.Nodes)
+	}
+	if rep.ImportMessages != 0 || rep.ExportStats.Messages != 0 || rep.BondMessages != 0 {
+		t.Errorf("single node reports phantom traffic: %+v", rep)
+	}
+	if math.IsNaN(rep.MessagesPerNode) || math.IsInf(rep.MessagesPerNode, 0) {
+		t.Errorf("MessagesPerNode not finite on one node: %v", rep.MessagesPerNode)
+	}
+	if rep.String() == "" {
+		t.Error("single-node report prints empty")
+	}
+
+	duo := smallWaterEngine(t, 2, nil)
+	rep2, err := duo.Comm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ImportMessages == 0 {
+		t.Error("two-node decomposition reports no import traffic")
+	}
+	if rep2.MessagesPerNode <= 0 {
+		t.Errorf("two-node MessagesPerNode = %v, want > 0", rep2.MessagesPerNode)
+	}
+}
+
+// TestEngineRejectsInvalidNodeCounts: both constructors must refuse
+// non-power-of-two and non-positive node counts rather than building a
+// broken torus (the NT assignment and the routing model both assume 2^k
+// nodes).
+func TestEngineRejectsInvalidNodeCounts(t *testing.T) {
+	s, err := system.Small(true, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodes := range []int{0, -1, 3, 6, 100, 65536} {
+		cfg := DefaultConfig(nodes)
+		if _, err := NewEngine(s, cfg); err == nil {
+			t.Errorf("NewEngine accepted %d nodes", nodes)
+		}
+		if _, err := NewSharded(s, cfg); err == nil {
+			t.Errorf("NewSharded accepted %d nodes", nodes)
+		}
+	}
+}
+
 func TestCommDeterministic(t *testing.T) {
 	e := smallWaterEngine(t, 8, nil)
 	a, err := e.Comm()

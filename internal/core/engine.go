@@ -126,9 +126,13 @@ type Engine struct {
 
 	mesh *meshSolver
 
-	// groupConstraints caches constraint indices per group (built lazily
-	// on first SHAKE call).
-	groupConstraints [][]int
+	// groupCons caches, per constraint group, the group's constraints with
+	// the endpoint positions remapped to indices within the group's atom
+	// list, so SHAKE/RATTLE scratch is sized by the largest group instead
+	// of the whole system (and per-shard scratch stays small). Built in
+	// NewEngine — never lazily, so concurrent shard use needs no locking.
+	groupCons   [][]groupCon
+	maxGroupLen int
 
 	// Per-worker accumulation state, reused across phases and steps.
 	workerF        [][]Force3 // force buffers
@@ -153,7 +157,9 @@ type Engine struct {
 	// oldPos is the reusable pre-drift position snapshot of stepOnce.
 	oldPos []fixp.Vec3
 
-	// SHAKE/RATTLE atom-indexed scratch (touched sparsely per group).
+	// SHAKE/RATTLE group-local scratch, sized by the largest constraint
+	// group (the monolithic step loop runs groups serially; shards carry
+	// their own copies).
 	shakeCur, shakeRef []vec.V3
 	rattleVel          []vec.V3
 
@@ -179,6 +185,11 @@ type Engine struct {
 	// attachment point for the health watchdogs. Hooks must be read-only
 	// with respect to dynamics state.
 	onStep func()
+
+	// laneFn overrides the tracer's per-node lane refresh (nil = the
+	// analytic model of tracewire.go). The sharded runtime installs its
+	// measured-schedule builder here.
+	laneFn func()
 
 	Stats Stats
 
@@ -283,6 +294,10 @@ func NewEngine(s *system.System, cfg Config) (*Engine, error) {
 			e.groups = append(e.groups, []int{i})
 		}
 	}
+
+	// Group-local constraint views and the SHAKE/RATTLE scratch sized by
+	// the largest group (built eagerly: shards use these concurrently).
+	e.buildGroupCons()
 
 	// Subbox grid: each home box divided into a regular array of subboxes
 	// (§3.2.1); atoms are assigned to subboxes individually at migration,
@@ -407,8 +422,19 @@ func (e *Engine) Trace(t *obs.Tracer) {
 	}
 	t.SetStepLayout(e.tracePhaseWeights())
 	if t.NodeLanesEnabled() {
-		e.refreshTraceNodeLanes()
+		e.refreshNodeLanes()
 	}
+}
+
+// refreshNodeLanes recomputes the tracer's per-node lane schedule. A
+// sharded driver installs its measured builder through laneFn; the
+// default is the analytic machine-model schedule.
+func (e *Engine) refreshNodeLanes() {
+	if e.laneFn != nil {
+		e.laneFn()
+		return
+	}
+	e.refreshTraceNodeLanes()
 }
 
 // Tracer returns the attached step tracer (nil if detached).
@@ -508,7 +534,7 @@ func (e *Engine) migrate() {
 	}
 	e.obsPhase(obs.PhaseMigration, t0)
 	if e.trc != nil && e.trc.NeedNodeRefresh(int64(e.step)) {
-		e.refreshTraceNodeLanes()
+		e.refreshNodeLanes()
 	}
 }
 
@@ -555,16 +581,12 @@ func (e *Engine) stepOnce() {
 	}
 	oldPos := e.oldPos
 	copy(oldPos, e.Pos)
-	cd := VelQuantum * dt * 2 / e.Coder.L * math.Exp2(float64(fixp.FracBits))
+	cd := e.driftCoeff(dt)
 	for i, a := range top.Atoms {
 		if a.Mass == 0 {
 			continue
 		}
-		e.Pos[i] = e.Pos[i].Add(fixp.Vec3{
-			X: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].X) * cd))),
-			Y: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Y) * cd))),
-			Z: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Z) * cd))),
-		})
+		e.driftAtom(i, cd)
 	}
 	e.obsPhase(obs.PhaseIntegration, t0)
 	// Constraints (SHAKE) per group, then virtual sites.
@@ -607,6 +629,22 @@ func (e *Engine) stepOnce() {
 	if e.onStep != nil {
 		e.onStep()
 	}
+}
+
+// driftCoeff returns the velocity-counts-to-position-counts conversion
+// for a drift of dt.
+func (e *Engine) driftCoeff(dt float64) float64 {
+	return VelQuantum * dt * 2 / e.Coder.L * math.Exp2(float64(fixp.FracBits))
+}
+
+// driftAtom advances one atom's position by its velocity (rounded to the
+// nearest even position count, preserving exact reversibility).
+func (e *Engine) driftAtom(i int, cd float64) {
+	e.Pos[i] = e.Pos[i].Add(fixp.Vec3{
+		X: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].X) * cd))),
+		Y: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Y) * cd))),
+		Z: fixp.F32(int32(math.RoundToEven(float64(e.Vel[i].Z) * cd))),
+	})
 }
 
 // kick applies a half-kick: v += round(F * c) with the symmetric
@@ -687,40 +725,54 @@ func (e *Engine) computeForces(refreshLong bool) {
 // covers bonds, then angles, then dihedrals, then impropers — mirroring
 // the static assignment of bond terms to geometry cores.
 func (e *Engine) bondedChunk(w, lo, hi int) {
-	top := e.Sys.Top
-	box := e.Sys.Box
 	r := e.posCache
 	buf := e.workerF[w]
 	scratch := e.workerScratch[w]
 	energy := 0.0
-	addTerm := func(atoms [4]int, n int, eTerm float64) {
-		energy += eTerm
-		for _, a := range atoms[:n] {
-			buf[a] = buf[a].AddRaw(
-				htis.QuantizeForce(scratch[a].X),
-				htis.QuantizeForce(scratch[a].Y),
-				htis.QuantizeForce(scratch[a].Z),
-			)
-			scratch[a] = vec.Zero
-		}
-	}
 	for t := lo; t < hi; t++ {
-		switch {
-		case t < len(top.Bonds):
-			b := &top.Bonds[t]
-			addTerm([4]int{b.I, b.J}, 2, ff.BondForce(b, box, r, scratch))
-		case t < len(top.Bonds)+len(top.Angles):
-			a := &top.Angles[t-len(top.Bonds)]
-			addTerm([4]int{a.I, a.J, a.K}, 3, ff.AngleForce(a, box, r, scratch))
-		case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
-			d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
-			addTerm([4]int{d.I, d.J, d.K, d.L}, 4, ff.DihedralForce(d, box, r, scratch))
-		default:
-			im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
-			addTerm([4]int{im.I, im.J, im.K, im.L}, 4, ff.ImproperForce(im, box, r, scratch))
-		}
+		energy += e.bondedTerm(t, r, scratch, buf)
 	}
 	e.workerEnergies[w] = energy
+}
+
+// bondedTerm evaluates one bonded term by flat index (bonds, then angles,
+// then dihedrals, then impropers), reading float positions from r, using
+// the sparse-zeroed float scratch, and accumulating the quantized per-atom
+// contributions into buf. Returns the term energy. Shards call this for
+// their owned term lists with their own views and buffers.
+func (e *Engine) bondedTerm(t int, r, scratch []vec.V3, buf []Force3) float64 {
+	top := e.Sys.Top
+	box := e.Sys.Box
+	var atoms [4]int
+	var n int
+	var eTerm float64
+	switch {
+	case t < len(top.Bonds):
+		b := &top.Bonds[t]
+		atoms, n = [4]int{b.I, b.J}, 2
+		eTerm = ff.BondForce(b, box, r, scratch)
+	case t < len(top.Bonds)+len(top.Angles):
+		a := &top.Angles[t-len(top.Bonds)]
+		atoms, n = [4]int{a.I, a.J, a.K}, 3
+		eTerm = ff.AngleForce(a, box, r, scratch)
+	case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
+		d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
+		atoms, n = [4]int{d.I, d.J, d.K, d.L}, 4
+		eTerm = ff.DihedralForce(d, box, r, scratch)
+	default:
+		im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
+		atoms, n = [4]int{im.I, im.J, im.K, im.L}, 4
+		eTerm = ff.ImproperForce(im, box, r, scratch)
+	}
+	for _, a := range atoms[:n] {
+		buf[a] = buf[a].AddRaw(
+			htis.QuantizeForce(scratch[a].X),
+			htis.QuantizeForce(scratch[a].Y),
+			htis.QuantizeForce(scratch[a].Z),
+		)
+		scratch[a] = vec.Zero
+	}
+	return eTerm
 }
 
 // bondedForces evaluates each bond term once (on its statically assigned
@@ -750,35 +802,12 @@ func (e *Engine) bondedForces() float64 {
 // (§3.2.3). The smooth kernel is bounded and slowly varying, so it
 // belongs with the long-range impulse. Accumulates into fLong.
 func (e *Engine) exclusionCorrections() float64 {
-	top := e.Sys.Top
 	workers := e.workers()
 	bufs := e.forceBuffers(workers, len(e.fLong))
 	e.workerAccums(workers)
 	energies := e.workerEnergies
 	parallelChunks(len(e.exclList), workers, func(w, lo, hi int) {
-		buf := bufs[w]
-		energy := 0.0
-		for _, p := range e.exclList[lo:hi] {
-			i, j := p[0], p[1]
-			qi, qj := top.Atoms[i].Charge, top.Atoms[j].Charge
-			if qi == 0 || qj == 0 {
-				continue
-			}
-			d := e.Coder.DeltaToPhys(e.Pos[i].Sub(e.Pos[j]))
-			r2 := d.Norm2()
-			if r2 < 1e-12 {
-				continue
-			}
-			es, fs := e.Split.SmoothPair(r2, qi, qj)
-			energy -= es
-			fv := d.Scale(-fs)
-			fx := htis.QuantizeForce(fv.X)
-			fy := htis.QuantizeForce(fv.Y)
-			fz := htis.QuantizeForce(fv.Z)
-			buf[i] = buf[i].AddRaw(fx, fy, fz)
-			buf[j] = buf[j].AddRaw(-fx, -fy, -fz)
-		}
-		energies[w] += energy
+		energies[w] += e.exclScan(e.exclList[lo:hi], e.Pos, bufs[w])
 	})
 	e.reduceForces(e.fLong, bufs, nil, workers)
 	energy := 0.0
@@ -788,193 +817,273 @@ func (e *Engine) exclusionCorrections() float64 {
 	return energy
 }
 
-// pair14Forces installs the scaled 1-4 interactions minus the mesh's
-// smooth part for those pairs. These are stiff bonded-range forces, so
-// they run in the fast loop (every step) on the correction pipeline.
-func (e *Engine) pair14Forces() float64 {
+// exclScan subtracts the mesh's smooth-component contribution for the
+// given excluded pairs, reading positions from pos and accumulating the
+// quantized corrections into dst. Returns the energy correction.
+func (e *Engine) exclScan(list [][2]int32, pos []fixp.Vec3, dst []Force3) float64 {
 	top := e.Sys.Top
-	ps := e.Sys.Params
 	energy := 0.0
-	for _, p := range e.pair14 {
-		ai, aj := top.Atoms[p.I], top.Atoms[p.J]
-		d := e.Coder.DeltaToPhys(e.Pos[p.I].Sub(e.Pos[p.J]))
+	for _, p := range list {
+		i, j := p[0], p[1]
+		qi, qj := top.Atoms[i].Charge, top.Atoms[j].Charge
+		if qi == 0 || qj == 0 {
+			continue
+		}
+		d := e.Coder.DeltaToPhys(pos[i].Sub(pos[j]))
 		r2 := d.Norm2()
-		var fs float64
-		if qq := ai.Charge * aj.Charge; qq != 0 {
-			es, f1 := e.Split.SmoothPair(r2, ai.Charge, aj.Charge)
-			energy -= es
-			fs -= f1
-			eb, f2 := ff.Coulomb(r2, ai.Charge, aj.Charge)
-			energy += top.Scale14Elec * eb
-			fs += top.Scale14Elec * f2
+		if r2 < 1e-12 {
+			continue
 		}
-		sigma, eps := ps.LJPair(ai.LJType, aj.LJType)
-		if eps != 0 {
-			el, f3 := ff.LJ126(r2, sigma, eps)
-			energy += top.Scale14LJ * el
-			fs += top.Scale14LJ * f3
-		}
-		fv := d.Scale(fs)
+		es, fs := e.Split.SmoothPair(r2, qi, qj)
+		energy -= es
+		fv := d.Scale(-fs)
 		fx := htis.QuantizeForce(fv.X)
 		fy := htis.QuantizeForce(fv.Y)
 		fz := htis.QuantizeForce(fv.Z)
-		e.fShort[p.I] = e.fShort[p.I].AddRaw(fx, fy, fz)
-		e.fShort[p.J] = e.fShort[p.J].AddRaw(-fx, -fy, -fz)
+		dst[i] = dst[i].AddRaw(fx, fy, fz)
+		dst[j] = dst[j].AddRaw(-fx, -fy, -fz)
 	}
 	return energy
 }
 
-// placeVSitesFixed recomputes virtual-site positions from their parents
-// in fixed point (deterministic per constraint group).
-func (e *Engine) placeVSitesFixed() {
-	for _, v := range e.Sys.Top.VSites {
-		dj := e.Coder.DeltaToPhys(e.Pos[v.J].Sub(e.Pos[v.I]))
-		dk := e.Coder.DeltaToPhys(e.Pos[v.K].Sub(e.Pos[v.I]))
-		ri := e.Coder.Decode(e.Pos[v.I])
-		site := ri.Add(dj.Scale(v.A)).Add(dk.Scale(v.B))
-		e.Pos[v.Site] = e.Coder.Encode(e.Sys.Box.Wrap(site))
+// pair14Forces installs the scaled 1-4 interactions minus the mesh's
+// smooth part for those pairs. These are stiff bonded-range forces, so
+// they run in the fast loop (every step) on the correction pipeline.
+func (e *Engine) pair14Forces() float64 {
+	energy := 0.0
+	for i := range e.pair14 {
+		energy += e.pair14One(&e.pair14[i], e.Pos, e.fShort)
 	}
+	return energy
 }
 
-// spreadVSiteForceCounts redistributes accumulated vsite force counts to
-// the parent atoms with quantized weights, then zeroes the site.
-func (e *Engine) spreadVSiteForceCounts(f []Force3) {
-	for _, v := range e.Sys.Top.VSites {
-		fs := f[v.Site]
-		if fs == (Force3{}) {
-			continue
-		}
-		wI := 1 - v.A - v.B
-		add := func(idx int, w float64) {
-			f[idx] = f[idx].AddRaw(
-				int64(math.RoundToEven(float64(fs.X)*w)),
-				int64(math.RoundToEven(float64(fs.Y)*w)),
-				int64(math.RoundToEven(float64(fs.Z)*w)),
-			)
-		}
-		add(v.I, wI)
-		add(v.J, v.A)
-		add(v.K, v.B)
-		f[v.Site] = Force3{}
-	}
-}
-
-// shakeFixed applies SHAKE per constraint group: positions are decoded,
-// iteratively corrected, and re-encoded; velocities of group members are
-// recomputed from the constrained displacement. Deterministic per group
-// and independent of the node layout (groups live on one node).
-func (e *Engine) shakeFixed(oldPos []fixp.Vec3, dt float64) {
+// pair14One evaluates a single scaled 1-4 pair, reading positions from
+// pos and accumulating the quantized forces into dst. Returns the energy.
+func (e *Engine) pair14One(p *ff.Pair14, pos []fixp.Vec3, dst []Force3) float64 {
 	top := e.Sys.Top
-	if len(top.Constraints) == 0 {
+	ps := e.Sys.Params
+	energy := 0.0
+	ai, aj := top.Atoms[p.I], top.Atoms[p.J]
+	d := e.Coder.DeltaToPhys(pos[p.I].Sub(pos[p.J]))
+	r2 := d.Norm2()
+	var fs float64
+	if qq := ai.Charge * aj.Charge; qq != 0 {
+		es, f1 := e.Split.SmoothPair(r2, ai.Charge, aj.Charge)
+		energy -= es
+		fs -= f1
+		eb, f2 := ff.Coulomb(r2, ai.Charge, aj.Charge)
+		energy += top.Scale14Elec * eb
+		fs += top.Scale14Elec * f2
+	}
+	sigma, eps := ps.LJPair(ai.LJType, aj.LJType)
+	if eps != 0 {
+		el, f3 := ff.LJ126(r2, sigma, eps)
+		energy += top.Scale14LJ * el
+		fs += top.Scale14LJ * f3
+	}
+	fv := d.Scale(fs)
+	fx := htis.QuantizeForce(fv.X)
+	fy := htis.QuantizeForce(fv.Y)
+	fz := htis.QuantizeForce(fv.Z)
+	dst[p.I] = dst[p.I].AddRaw(fx, fy, fz)
+	dst[p.J] = dst[p.J].AddRaw(-fx, -fy, -fz)
+	return energy
+}
+
+// placeVSite recomputes one virtual site's position from its parents in
+// fixed point (deterministic per constraint group; the parents and the
+// site share a constraint group, so the site's owner does this locally).
+func (e *Engine) placeVSite(v *ff.VSite) {
+	dj := e.Coder.DeltaToPhys(e.Pos[v.J].Sub(e.Pos[v.I]))
+	dk := e.Coder.DeltaToPhys(e.Pos[v.K].Sub(e.Pos[v.I]))
+	ri := e.Coder.Decode(e.Pos[v.I])
+	site := ri.Add(dj.Scale(v.A)).Add(dk.Scale(v.B))
+	e.Pos[v.Site] = e.Coder.Encode(e.Sys.Box.Wrap(site))
+}
+
+// placeVSitesFixed recomputes all virtual-site positions.
+func (e *Engine) placeVSitesFixed() {
+	for i := range e.Sys.Top.VSites {
+		e.placeVSite(&e.Sys.Top.VSites[i])
+	}
+}
+
+// spreadVSiteForce redistributes one site's accumulated force counts to
+// the parent atoms with quantized weights, then zeroes the site. Must run
+// after the site's force is fully merged: the rounding is nonlinear in
+// the total, so partial spreads would change bits.
+func spreadVSiteForce(f []Force3, v *ff.VSite) {
+	fs := f[v.Site]
+	if fs == (Force3{}) {
 		return
 	}
-	box := e.Sys.Box
-	// Group the constraints once.
-	if e.groupConstraints == nil {
-		e.groupConstraints = make([][]int, len(e.groups))
-		for ci := range top.Constraints {
-			c := &top.Constraints[ci]
-			g := e.groupOf[c.I]
-			e.groupConstraints[g] = append(e.groupConstraints[g], ci)
+	wI := 1 - v.A - v.B
+	add := func(idx int, w float64) {
+		f[idx] = f[idx].AddRaw(
+			int64(math.RoundToEven(float64(fs.X)*w)),
+			int64(math.RoundToEven(float64(fs.Y)*w)),
+			int64(math.RoundToEven(float64(fs.Z)*w)),
+		)
+	}
+	add(v.I, wI)
+	add(v.J, v.A)
+	add(v.K, v.B)
+	f[v.Site] = Force3{}
+}
+
+// spreadVSiteForceCounts redistributes every site's accumulated force.
+func (e *Engine) spreadVSiteForceCounts(f []Force3) {
+	for i := range e.Sys.Top.VSites {
+		spreadVSiteForce(f, &e.Sys.Top.VSites[i])
+	}
+}
+
+// groupCon is one constraint of a group with its endpoints remapped to
+// positions within the group's atom list (scratch indices).
+type groupCon struct {
+	ci     int32 // index into Topology.Constraints
+	li, lj int32 // local positions of c.I, c.J within groups[g]
+}
+
+// buildGroupCons groups the constraints by constraint group with local
+// endpoint indices and sizes the group-local SHAKE/RATTLE scratch.
+func (e *Engine) buildGroupCons() {
+	top := e.Sys.Top
+	e.groupCons = make([][]groupCon, len(e.groups))
+	local := make([]int32, len(e.Pos))
+	for _, atoms := range e.groups {
+		if len(atoms) > e.maxGroupLen {
+			e.maxGroupLen = len(atoms)
+		}
+		for li, a := range atoms {
+			local[a] = int32(li)
 		}
 	}
-	if e.shakeCur == nil {
-		e.shakeCur = make([]vec.V3, len(e.Pos))
-		e.shakeRef = make([]vec.V3, len(e.Pos))
+	for ci := range top.Constraints {
+		c := &top.Constraints[ci]
+		g := e.groupOf[c.I]
+		e.groupCons[g] = append(e.groupCons[g], groupCon{
+			ci: int32(ci),
+			li: local[c.I],
+			lj: local[c.J],
+		})
+	}
+	e.shakeCur = make([]vec.V3, e.maxGroupLen)
+	e.shakeRef = make([]vec.V3, e.maxGroupLen)
+	e.rattleVel = make([]vec.V3, e.maxGroupLen)
+}
+
+// shakeGroup applies SHAKE to one constraint group: positions are
+// decoded into the group-local scratch, iteratively corrected, and
+// re-encoded; velocities of group members are recomputed from the
+// constrained displacement. Deterministic per group and independent of
+// the node layout (groups live on one node). cur and ref must have at
+// least maxGroupLen capacity; distinct callers (shards) pass their own.
+func (e *Engine) shakeGroup(gi int, oldPos []fixp.Vec3, dt float64, cur, ref []vec.V3) {
+	cons := e.groupCons[gi]
+	if len(cons) == 0 {
+		return
+	}
+	top := e.Sys.Top
+	box := e.Sys.Box
+	atoms := e.groups[gi]
+	for li, a := range atoms {
+		cur[li] = e.Coder.Decode(e.Pos[a])
+		ref[li] = e.Coder.Decode(oldPos[a])
 	}
 	const tol = 1e-10
-	for gi, cons := range e.groupConstraints {
-		if len(cons) == 0 {
-			continue
-		}
-		atoms := e.groups[gi]
-		// Decode current and reference positions into the atom-indexed
-		// scratch (each group writes its atoms before reading them).
-		cur, ref := e.shakeCur, e.shakeRef
-		for _, a := range atoms {
-			cur[a] = e.Coder.Decode(e.Pos[a])
-			ref[a] = e.Coder.Decode(oldPos[a])
-		}
-		for iter := 0; iter < 200; iter++ {
-			worst := 0.0
-			for _, ci := range cons {
-				c := &top.Constraints[ci]
-				d := box.MinImage(cur[c.I].Sub(cur[c.J]))
-				diff := d.Norm2() - c.R*c.R
-				if v := math.Abs(diff) / (c.R * c.R); v > worst {
-					worst = v
-				}
-				if math.Abs(diff) < tol {
-					continue
-				}
-				rd := box.MinImage(ref[c.I].Sub(ref[c.J]))
-				mi := 1 / top.Atoms[c.I].Mass
-				mj := 1 / top.Atoms[c.J].Mass
-				g := diff / (2 * (mi + mj) * d.Dot(rd))
-				corr := rd.Scale(g)
-				cur[c.I] = cur[c.I].Sub(corr.Scale(mi))
-				cur[c.J] = cur[c.J].Add(corr.Scale(mj))
+	for iter := 0; iter < 200; iter++ {
+		worst := 0.0
+		for _, gc := range cons {
+			c := &top.Constraints[gc.ci]
+			d := box.MinImage(cur[gc.li].Sub(cur[gc.lj]))
+			diff := d.Norm2() - c.R*c.R
+			if v := math.Abs(diff) / (c.R * c.R); v > worst {
+				worst = v
 			}
-			if worst < tol {
-				break
-			}
-		}
-		// Re-encode and recompute velocities from the constrained motion.
-		for _, a := range atoms {
-			if top.Atoms[a].Mass == 0 {
+			if math.Abs(diff) < tol {
 				continue
 			}
-			e.Pos[a] = e.Coder.Encode(box.Wrap(cur[a]))
-			disp := e.Coder.DeltaToPhys(e.Pos[a].Sub(oldPos[a]))
-			e.Vel[a] = EncodeVel(disp.Scale(1 / dt))
+			rd := box.MinImage(ref[gc.li].Sub(ref[gc.lj]))
+			mi := 1 / top.Atoms[c.I].Mass
+			mj := 1 / top.Atoms[c.J].Mass
+			g := diff / (2 * (mi + mj) * d.Dot(rd))
+			corr := rd.Scale(g)
+			cur[gc.li] = cur[gc.li].Sub(corr.Scale(mi))
+			cur[gc.lj] = cur[gc.lj].Add(corr.Scale(mj))
 		}
+		if worst < tol {
+			break
+		}
+	}
+	// Re-encode and recompute velocities from the constrained motion.
+	for li, a := range atoms {
+		if top.Atoms[a].Mass == 0 {
+			continue
+		}
+		e.Pos[a] = e.Coder.Encode(box.Wrap(cur[li]))
+		disp := e.Coder.DeltaToPhys(e.Pos[a].Sub(oldPos[a]))
+		e.Vel[a] = EncodeVel(disp.Scale(1 / dt))
+	}
+}
+
+// shakeFixed applies SHAKE to every constraint group in turn.
+func (e *Engine) shakeFixed(oldPos []fixp.Vec3, dt float64) {
+	if len(e.Sys.Top.Constraints) == 0 {
+		return
+	}
+	for gi := range e.groupCons {
+		e.shakeGroup(gi, oldPos, dt, e.shakeCur, e.shakeRef)
+	}
+}
+
+// rattleGroup removes velocity components along one group's constrained
+// bonds. v is group-local velocity scratch of at least maxGroupLen.
+func (e *Engine) rattleGroup(gi int, v []vec.V3) {
+	cons := e.groupCons[gi]
+	if len(cons) == 0 {
+		return
+	}
+	top := e.Sys.Top
+	atoms := e.groups[gi]
+	for li, a := range atoms {
+		v[li] = e.Vel[a].Float()
+	}
+	for iter := 0; iter < 100; iter++ {
+		worst := 0.0
+		for _, gc := range cons {
+			c := &top.Constraints[gc.ci]
+			d := e.Coder.DeltaToPhys(e.Pos[c.I].Sub(e.Pos[c.J]))
+			rel := v[gc.li].Sub(v[gc.lj])
+			dot := d.Dot(rel)
+			if math.Abs(dot) > worst {
+				worst = math.Abs(dot)
+			}
+			mi := 1 / top.Atoms[c.I].Mass
+			mj := 1 / top.Atoms[c.J].Mass
+			k := dot / (d.Norm2() * (mi + mj))
+			v[gc.li] = v[gc.li].Sub(d.Scale(k * mi))
+			v[gc.lj] = v[gc.lj].Add(d.Scale(k * mj))
+		}
+		if worst < 1e-12 {
+			break
+		}
+	}
+	for li, a := range atoms {
+		if top.Atoms[a].Mass == 0 {
+			continue
+		}
+		e.Vel[a] = EncodeVel(v[li])
 	}
 }
 
 // rattleFixed removes velocity components along constrained bonds.
 func (e *Engine) rattleFixed() {
-	top := e.Sys.Top
-	if len(top.Constraints) == 0 {
+	if len(e.Sys.Top.Constraints) == 0 {
 		return
 	}
-	if e.rattleVel == nil {
-		e.rattleVel = make([]vec.V3, len(e.Pos))
-	}
-	for gi, cons := range e.groupConstraints {
-		if len(cons) == 0 {
-			continue
-		}
-		atoms := e.groups[gi]
-		v := e.rattleVel
-		for _, a := range atoms {
-			v[a] = e.Vel[a].Float()
-		}
-		for iter := 0; iter < 100; iter++ {
-			worst := 0.0
-			for _, ci := range cons {
-				c := &top.Constraints[ci]
-				d := e.Coder.DeltaToPhys(e.Pos[c.I].Sub(e.Pos[c.J]))
-				rel := v[c.I].Sub(v[c.J])
-				dot := d.Dot(rel)
-				if math.Abs(dot) > worst {
-					worst = math.Abs(dot)
-				}
-				mi := 1 / top.Atoms[c.I].Mass
-				mj := 1 / top.Atoms[c.J].Mass
-				k := dot / (d.Norm2() * (mi + mj))
-				v[c.I] = v[c.I].Sub(d.Scale(k * mi))
-				v[c.J] = v[c.J].Add(d.Scale(k * mj))
-			}
-			if worst < 1e-12 {
-				break
-			}
-		}
-		for _, a := range atoms {
-			if top.Atoms[a].Mass == 0 {
-				continue
-			}
-			e.Vel[a] = EncodeVel(v[a])
-		}
+	for gi := range e.groupCons {
+		e.rattleGroup(gi, e.rattleVel)
 	}
 }
 
@@ -1017,19 +1126,14 @@ func (e *Engine) distToSubbox(r vec.V3, c nt.BoxCoord) float64 {
 		if x >= lo && x < hi {
 			return 0
 		}
-		d1 := math.Abs(minImage1(x-lo, l))
-		d2 := math.Abs(minImage1(x-hi, l))
+		d1 := math.Abs(vec.MinImage1(x-lo, l))
+		d2 := math.Abs(vec.MinImage1(x-hi, l))
 		return math.Min(d1, d2)
 	}
 	gx := gap(r.X, float64(c.X)*e.subSide[0], float64(c.X+1)*e.subSide[0], box.L.X)
 	gy := gap(r.Y, float64(c.Y)*e.subSide[1], float64(c.Y+1)*e.subSide[1], box.L.Y)
 	gz := gap(r.Z, float64(c.Z)*e.subSide[2], float64(c.Z+1)*e.subSide[2], box.L.Z)
 	return math.Sqrt(gx*gx + gy*gy + gz*gz)
-}
-
-func minImage1(d, l float64) float64 {
-	d -= l * math.Round(d/l)
-	return d
 }
 
 // Virial returns the range-limited virial accumulator of the last force

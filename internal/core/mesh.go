@@ -138,12 +138,7 @@ func (e *Engine) meshForces() float64 {
 			if q == 0 {
 				continue
 			}
-			r := e.posCache[i]
-			ms.forEachMeshPoint(r, func(idx int, d2 float64, _ vec.V3) {
-				c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
-				counts[idx] += c // wrapping accumulate: order-independent
-				tally++
-			})
+			tally += ms.spreadAtom(q, e.posCache[i], counts)
 		}
 		meshTallies[w] = tally
 	})
@@ -160,21 +155,12 @@ func (e *Engine) meshForces() float64 {
 
 	// --- Convolution (distributed FFT; serial transform is bit-identical). ---
 	t0 = e.obsNow()
-	for i, c := range ms.counts {
-		ms.mesh.Data[i] = complex(float64(c)*ChargeQuantum, 0)
-	}
-	ms.mesh.ForwardP(e.workers())
-	for i, g := range ms.green {
-		ms.mesh.Data[i] *= complex(g, 0)
-	}
-	ms.mesh.InverseP(e.workers())
+	ms.convolve(e.workers())
 	e.obsPhase(obs.PhaseFFT, t0)
 
 	// --- Force interpolation + energy (parallel: each atom's force is
 	// written only by its owner). ---
 	t0 = e.obsNow()
-	h3 := ms.h * ms.h * ms.h
-	invS2 := 1 / (ms.sigma1 * ms.sigma1)
 	energies := ms.workerEnergies
 	for w := range energies {
 		energies[w] = 0
@@ -188,25 +174,10 @@ func (e *Engine) meshForces() float64 {
 			if q == 0 {
 				continue
 			}
-			r := e.posCache[i]
-			var ex float64
-			var fx, fy, fz float64
-			ms.forEachMeshPoint(r, func(idx int, d2 float64, d vec.V3) {
-				phi := real(ms.mesh.Data[idx])
-				wgt := ms.weight(d2)
-				ex += phi * wgt
-				s := phi * wgt * invS2
-				fx += s * d.X
-				fy += s * d.Y
-				fz += s * d.Z
-				tally++
-			})
-			energy += 0.5 * q * h3 * ex
-			e.fLong[i] = e.fLong[i].AddRaw(
-				htis.QuantizeForce(-q*h3*fx),
-				htis.QuantizeForce(-q*h3*fy),
-				htis.QuantizeForce(-q*h3*fz),
-			)
+			en, fx, fy, fz, n := ms.interpAtom(q, e.posCache[i])
+			energy += en
+			e.fLong[i] = e.fLong[i].AddRaw(fx, fy, fz)
+			tally += n
 		}
 		energies[w] = energy
 		meshTallies[w] = tally
@@ -225,6 +196,61 @@ func (e *Engine) meshForces() float64 {
 	// Remove the Ewald self term.
 	energy += e.Split.SelfEnergy(top.Atoms)
 	return energy
+}
+
+// spreadAtom spreads one atom's charge onto the mesh, accumulating the
+// quantized contributions into counts (wrapping adds: order-independent)
+// and returning the number of atom-mesh interactions. counts may be a
+// worker buffer or a shard-private buffer — merges commute bitwise.
+func (ms *meshSolver) spreadAtom(q float64, r vec.V3, counts []int64) int64 {
+	var tally int64
+	ms.forEachMeshPoint(r, func(idx int, d2 float64, _ vec.V3) {
+		c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
+		counts[idx] += c // wrapping accumulate: order-independent
+		tally++
+	})
+	return tally
+}
+
+// convolve transforms the accumulated mesh counts to the potential mesh:
+// fixed-point decode, forward FFT, Green's function multiply, inverse FFT.
+// The serial and distributed transforms are bitwise identical, so this is
+// a driver-serial collective in sharded runs.
+func (ms *meshSolver) convolve(workers int) {
+	for i, c := range ms.counts {
+		ms.mesh.Data[i] = complex(float64(c)*ChargeQuantum, 0)
+	}
+	ms.mesh.ForwardP(workers)
+	for i, g := range ms.green {
+		ms.mesh.Data[i] *= complex(g, 0)
+	}
+	ms.mesh.InverseP(workers)
+}
+
+// interpAtom interpolates the long-range force and energy for one atom
+// from the potential mesh, returning the energy partial, the quantized
+// raw force components, and the interaction tally. Reads only the shared
+// post-convolution mesh, so concurrent shards may call it freely.
+func (ms *meshSolver) interpAtom(q float64, r vec.V3) (energy float64, fx, fy, fz int64, tally int64) {
+	h3 := ms.h * ms.h * ms.h
+	invS2 := 1 / (ms.sigma1 * ms.sigma1)
+	var ex float64
+	var sx, sy, sz float64
+	ms.forEachMeshPoint(r, func(idx int, d2 float64, d vec.V3) {
+		phi := real(ms.mesh.Data[idx])
+		wgt := ms.weight(d2)
+		ex += phi * wgt
+		s := phi * wgt * invS2
+		sx += s * d.X
+		sy += s * d.Y
+		sz += s * d.Z
+		tally++
+	})
+	energy = 0.5 * q * h3 * ex
+	fx = htis.QuantizeForce(-q * h3 * sx)
+	fy = htis.QuantizeForce(-q * h3 * sy)
+	fz = htis.QuantizeForce(-q * h3 * sz)
+	return energy, fx, fy, fz, tally
 }
 
 // forEachMeshPoint visits mesh points within rspread of p, passing the

@@ -219,19 +219,30 @@ func (e *Engine) flushPairBatch(b *pairBatch, buf []Force3, energy *float64, st 
 // prefilter, exclusion merge scan, batched PPIP evaluation. Installed
 // once as Engine.pairChunkFn so the steady-state path allocates nothing.
 func (e *Engine) pairChunk(w, lo, hi int) {
-	k := &e.pk
-	buf := e.workerF[w]
-	b := &k.batches[w]
 	var energy float64
 	var t tally
-	vir := &e.workerVirials[w]
+	e.pairScan(e.subPairs[lo:hi], e.pk.pos, e.workerF[w], &e.pk.batches[w],
+		&energy, &t, &e.workerVirials[w])
+	e.workerEnergies[w] = energy
+	e.workerTallies[w] = t
+}
+
+// pairScan runs the match-unit prefilter and batched PPIP evaluation over
+// an explicit list of subbox pairs, reading slot-indexed positions from
+// pos and scattering quantized forces into the slot-indexed buf. It is the
+// shared core of the monolithic worker chunks and the per-shard NT node
+// computation: a shard passes its assigned pair list, its own gathered
+// position view and its private accumulation buffers.
+func (e *Engine) pairScan(pairs [][2]int32, pos []fixp.Vec3, buf []Force3, b *pairBatch, energyOut *float64, tOut *tally, vir *htis.Virial) {
+	k := &e.pk
+	var energy float64
+	var t tally
 	// Match-unit thresholds hoisted into locals; the check below is the
 	// MayInteract datapath inlined (per-axis reject, then conservative
 	// low-precision r^2), saving a call and three field loads per pair.
 	shift, limAxis, limR2 := e.mu.Thresholds()
-	pos := k.pos
 	atomOf := k.atomOf
-	for _, bp := range e.subPairs[lo:hi] {
+	for _, bp := range pairs {
 		aLo, aHi := k.subStart[bp[0]], k.subStart[bp[0]+1]
 		bHi := k.subStart[bp[1]+1]
 		same := bp[0] == bp[1]
@@ -294,8 +305,8 @@ func (e *Engine) pairChunk(w, lo, hi int) {
 		}
 	}
 	e.flushPairBatch(b, buf, &energy, &t, vir)
-	e.workerEnergies[w] = energy
-	e.workerTallies[w] = t
+	*energyOut += energy
+	tOut.Merge(&t)
 }
 
 // rangeLimitedForces runs the NT-decomposed HTIS computation: every

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"sync"
+
+	"anton/internal/ff"
+	"anton/internal/fixp"
+	"anton/internal/htis"
+	"anton/internal/nt"
+	"anton/internal/obs"
+	"anton/internal/system"
+	"anton/internal/vec"
+)
+
+// Sharded executes the engine as N virtual nodes ("shards"), one per home
+// box of the NT decomposition, each running on its own goroutine. A shard
+// owns the atoms homed in its box (internal/nt box assignment), computes
+// the range-limited pairs assigned to it as a neutral-territory node, the
+// bonded/1-4/exclusion terms whose first atom it owns, and its owned
+// atoms' mesh spreading, interpolation, integration, constraints and
+// virtual sites. All remote data arrives through explicit messages on a
+// channel transport: position imports (a box multicasts its atoms to the
+// nodes whose tower or plate needs them), force exports (a computing node
+// returns its contributions to the home box), and long-range correction
+// exports on refresh steps. The FFT convolution, the Berendsen kinetic-
+// energy reduction, the residency check and the migration decision run
+// driver-serial as collectives, exactly like the monolithic step — so the
+// float operation sequences they contain are identical by construction.
+//
+// Bitwise invariance across shard counts follows from the same property
+// that gives the monolithic engine its worker- and node-count invariance:
+// every force, mesh and virial accumulator is a wrapping fixed-point
+// integer, so accumulation is associative AND commutative — the order in
+// which messages arrive can never change a bit. Each interaction is
+// computed exactly once, by exactly one shard, from position values that
+// are bit-copies of the owner's canonical state; its quantized
+// contribution is therefore identical to the monolithic evaluation, and
+// the merged sums are identical regardless of N. Diagnostic float
+// energies are reduced in ascending shard order (deterministic for a
+// fixed N, and permitted to differ across N — they never feed dynamics).
+//
+// Memory: each shard carries atom- and slot-indexed views (~150 B/atom)
+// plus a dense mesh buffer on refresh steps. That is deliberate — the
+// views are the shard's "local memory", written only by owner writes and
+// received messages, never read through another shard's state.
+type Sharded struct {
+	E *Engine
+
+	shards []*shardState
+	wg     sync.WaitGroup
+
+	comm *measuredComm
+
+	// subBox maps a subbox to its enclosing home box; cellBox maps a mesh
+	// cell to the home box covering its location. Both are static.
+	subBox  []int32
+	cellBox []int32
+
+	prevBoxOf   []int32 // boxOf snapshot for migration-traffic accounting
+	meshScratch []int64 // per-destination nonzero-cell counts (merge scratch)
+
+	// Rebuild scratch: epoch-stamped membership marks.
+	atomStamp []int32
+	boxStamp  []int32
+	epoch     int32
+
+	closeOnce sync.Once
+}
+
+// Message kinds on the shard transport.
+const (
+	msgPos       uint8 = iota // position import (sender's owned atoms)
+	msgForce                  // short-range force export (foot atoms)
+	msgForceLong              // long-range correction export (refresh steps)
+)
+
+// shardMsg is one transport message. Buffers are owned by the sender and
+// reused across steps; the stage barriers guarantee the receiver has
+// consumed a buffer before the sender refills it.
+type shardMsg struct {
+	from int32
+	kind uint8
+	pos  []fixp.Vec3
+	f    []Force3
+}
+
+// shardState is one virtual node: its static work assignment, its
+// per-migration views of the decomposition, its local buffers, and its
+// per-step diagnostic outputs (read by the driver after a barrier).
+type shardState struct {
+	id int32
+	s  *Sharded
+
+	cmd   chan func(*shardState)
+	inbox chan shardMsg
+
+	// Static work assignment (NT pair node; set once at construction).
+	myPairs     [][2]int32
+	touchedSubs []int32
+
+	// Per-migration views.
+	owned          []int32    // atoms homed here (= Engine.boxAtoms[id])
+	groups         []int32    // constraint groups led here
+	vsites         []int32    // virtual sites homed here
+	bondTerms      []int32    // flat bonded term indices owned here
+	pair14Idx      []int32    // 1-4 pair indices owned here
+	exclTerms      [][2]int32 // exclusion-correction pairs owned here
+	needAll        []int32    // sorted atoms this shard reads or touches
+	impSrcs        []int32    // boxes whose positions we import
+	expDsts        []int32    // boxes importing our positions
+	footAtoms      [][]int32  // per impSrcs entry: remote atoms we export forces for
+	exclTouch      []int32    // atoms touched by owned exclusion terms
+	exclTouchOwned []int32    // the owned subset of exclTouch
+	exclFootDst    []int32    // destinations of exclusion-correction exports
+	exclFootAtoms  [][]int32  // per exclFootDst entry: their atoms
+	inFoot         int        // expected incoming short-force messages
+	inExclFoot     int        // expected incoming long-force messages
+	inFootFrom     map[int32][]int32
+	inExclFootFrom map[int32][]int32
+
+	// Local buffers (atom- or slot-indexed; valid only for the view sets).
+	lpos       []fixp.Vec3 // local fixed-point positions (owned + imported)
+	lposF      []vec.V3    // decoded float view of needAll
+	spos       []fixp.Vec3 // slot-indexed positions of touched subboxes
+	sbuf       []Force3    // slot-indexed pair-force accumulator
+	lfShort    []Force3    // atom-indexed short-range accumulator
+	lfLong     []Force3    // atom-indexed long-range correction accumulator
+	scratch    []vec.V3    // bonded float scratch (sparse-zero invariant)
+	meshCounts []int64     // dense mesh charge contribution (refresh steps)
+	batch      pairBatch
+
+	// Send buffers, refilled per exchange.
+	posOut      []fixp.Vec3
+	footOut     [][]Force3
+	exclFootOut [][]Force3
+
+	// Constraint scratch (group-local, maxGroupLen).
+	shakeCur, shakeRef, rattleVel []vec.V3
+
+	// Per-step diagnostic outputs.
+	energyRL, energyBonded, energyP14 float64
+	energyExcl, energyMesh            float64
+	tally                             tally
+	virial                            htis.Virial
+	spreadTally, interpTally          int64
+}
+
+// NewSharded builds a sharded engine: the underlying Engine (whose node
+// count is the shard count) plus one goroutine-backed virtual node per
+// home box. The caller should Close() it when done.
+func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
+	e, err := NewEngine(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Sharded{E: e}
+	n := e.grid.NumBoxes()
+
+	sh.prevBoxOf = make([]int32, len(e.Pos))
+	sh.atomStamp = make([]int32, len(e.Pos))
+	sh.boxStamp = make([]int32, n)
+	sh.meshScratch = make([]int64, n)
+	for i := range sh.atomStamp {
+		sh.atomStamp[i] = -1
+	}
+	for i := range sh.boxStamp {
+		sh.boxStamp[i] = -1
+	}
+
+	// Static subbox -> home box map.
+	sh.subBox = make([]int32, e.subGrid.NumBoxes())
+	for i := range sh.subBox {
+		c := nt.SubToBox(e.subGrid, e.grid, e.subGrid.Coord(i))
+		sh.subBox[i] = int32(e.grid.Index(c))
+	}
+	// Static mesh cell -> home box map (the node owning the cell's region
+	// of space receives that cell's charge contributions).
+	nm := e.mesh.n
+	sh.cellBox = make([]int32, nm*nm*nm)
+	for kz := 0; kz < nm; kz++ {
+		bz := int(float64(kz) * e.mesh.h / e.boxSide[2])
+		for ky := 0; ky < nm; ky++ {
+			by := int(float64(ky) * e.mesh.h / e.boxSide[1])
+			for kx := 0; kx < nm; kx++ {
+				bx := int(float64(kx) * e.mesh.h / e.boxSide[0])
+				c := e.grid.Wrap(nt.BoxCoord{X: bx, Y: by, Z: bz})
+				sh.cellBox[(kz*nm+ky)*nm+kx] = int32(e.grid.Index(c))
+			}
+		}
+	}
+
+	// Shard goroutines.
+	sh.shards = make([]*shardState, n)
+	for i := range sh.shards {
+		st := &shardState{
+			id:             int32(i),
+			s:              sh,
+			cmd:            make(chan func(*shardState)),
+			inFootFrom:     make(map[int32][]int32),
+			inExclFootFrom: make(map[int32][]int32),
+		}
+		st.batch.init()
+		sh.shards[i] = st
+		go func(st *shardState) {
+			for fn := range st.cmd {
+				fn(st)
+				sh.wg.Done()
+			}
+		}(st)
+	}
+
+	// Static NT pair assignment: each interacting subbox pair belongs to
+	// the node given by AssignPairNode over the pair's home boxes.
+	for _, bp := range e.subPairs {
+		ba, bb := sh.subBox[bp[0]], sh.subBox[bp[1]]
+		node := ba
+		if ba != bb {
+			c := nt.AssignPairNode(e.grid, e.grid.Coord(int(ba)), e.grid.Coord(int(bb)))
+			node = int32(e.grid.Index(c))
+		}
+		st := sh.shards[node]
+		st.myPairs = append(st.myPairs, bp)
+		st.touchedSubs = append(st.touchedSubs, bp[0], bp[1])
+	}
+	for _, st := range sh.shards {
+		st.touchedSubs = sortDedupInt32(st.touchedSubs)
+	}
+
+	if len(e.oldPos) != len(e.Pos) {
+		e.oldPos = make([]fixp.Vec3, len(e.Pos))
+	}
+
+	sh.comm, err = newMeasuredComm([3]int{e.grid.Nx, e.grid.Ny, e.grid.Nz})
+	if err != nil {
+		return nil, err
+	}
+	e.laneFn = sh.measuredLanes
+
+	sh.rebuildViews()
+	return sh, nil
+}
+
+// Close stops the shard goroutines. The underlying Engine stays usable.
+func (s *Sharded) Close() {
+	s.closeOnce.Do(func() {
+		for _, st := range s.shards {
+			close(st.cmd)
+		}
+	})
+}
+
+// each runs fn on every shard concurrently and waits for all of them —
+// one pipeline stage barrier.
+func (s *Sharded) each(fn func(*shardState)) {
+	s.wg.Add(len(s.shards))
+	for _, st := range s.shards {
+		st.cmd <- fn
+	}
+	s.wg.Wait()
+}
+
+// Engine exposes the underlying engine for read-only reporting.
+func (s *Sharded) Engine() *Engine { return s.E }
+
+// Shards returns the virtual node count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Delegated state and observability access (same contracts as Engine).
+func (s *Sharded) StepCount() int                     { return s.E.StepCount() }
+func (s *Sharded) Snapshot() ([]fixp.Vec3, []Vel3)    { return s.E.Snapshot() }
+func (s *Sharded) SetVelocities(v []vec.V3)           { s.E.SetVelocities(v) }
+func (s *Sharded) Observe(r *obs.Recorder)            { s.E.Observe(r) }
+func (s *Sharded) Trace(t *obs.Tracer)                { s.E.Trace(t) }
+func (s *Sharded) OnStep(fn func())                   { s.E.OnStep(fn) }
+
+// bondedTermAtoms returns the atoms of a bonded term by flat index
+// (bonds, then angles, then dihedrals, then impropers) — the ownership
+// and import bookkeeping twin of Engine.bondedTerm.
+func bondedTermAtoms(top *ff.Topology, t int) ([4]int, int) {
+	switch {
+	case t < len(top.Bonds):
+		b := &top.Bonds[t]
+		return [4]int{b.I, b.J}, 2
+	case t < len(top.Bonds)+len(top.Angles):
+		a := &top.Angles[t-len(top.Bonds)]
+		return [4]int{a.I, a.J, a.K}, 3
+	case t < len(top.Bonds)+len(top.Angles)+len(top.Dihedrals):
+		d := &top.Dihedrals[t-len(top.Bonds)-len(top.Angles)]
+		return [4]int{d.I, d.J, d.K, d.L}, 4
+	default:
+		im := &top.Impropers[t-len(top.Bonds)-len(top.Angles)-len(top.Dihedrals)]
+		return [4]int{im.I, im.J, im.K, im.L}, 4
+	}
+}
+
+// rebuildViews recomputes every ownership-derived view after a migration
+// (or restore): owned atoms, term assignments, import/export sets, foot
+// lists, buffer sizes and the static traffic tallies. Driver-serial.
+func (s *Sharded) rebuildViews() {
+	e := s.E
+	top := e.Sys.Top
+	natoms := len(e.Pos)
+
+	for _, st := range s.shards {
+		st.owned = e.boxAtoms[st.id]
+		st.groups = st.groups[:0]
+		st.vsites = st.vsites[:0]
+		st.bondTerms = st.bondTerms[:0]
+		st.pair14Idx = st.pair14Idx[:0]
+		st.exclTerms = st.exclTerms[:0]
+		st.expDsts = st.expDsts[:0]
+		st.inFoot = 0
+		st.inExclFoot = 0
+		for k := range st.inFootFrom {
+			delete(st.inFootFrom, k)
+		}
+		for k := range st.inExclFootFrom {
+			delete(st.inExclFootFrom, k)
+		}
+	}
+
+	// Ownership sweeps (group leader rule for groups and virtual sites;
+	// first-atom rule for interaction terms).
+	for gi, g := range e.groups {
+		st := s.shards[e.boxOf[g[0]]]
+		st.groups = append(st.groups, int32(gi))
+	}
+	for vi := range top.VSites {
+		st := s.shards[e.boxOf[top.VSites[vi].Site]]
+		st.vsites = append(st.vsites, int32(vi))
+	}
+	nTerms := len(top.Bonds) + len(top.Angles) + len(top.Dihedrals) + len(top.Impropers)
+	for t := 0; t < nTerms; t++ {
+		atoms, _ := bondedTermAtoms(top, t)
+		st := s.shards[e.boxOf[atoms[0]]]
+		st.bondTerms = append(st.bondTerms, int32(t))
+	}
+	for pi := range e.pair14 {
+		st := s.shards[e.boxOf[e.pair14[pi].I]]
+		st.pair14Idx = append(st.pair14Idx, int32(pi))
+	}
+	for _, p := range e.exclList {
+		st := s.shards[e.boxOf[p[0]]]
+		st.exclTerms = append(st.exclTerms, p)
+	}
+
+	// Per-shard read/touch sets, import sources and foot lists.
+	k := &e.pk
+	for _, st := range s.shards {
+		s.epoch++
+		ep := s.epoch
+		st.needAll = st.needAll[:0]
+		mark := func(a int32) {
+			if s.atomStamp[a] != ep {
+				s.atomStamp[a] = ep
+				st.needAll = append(st.needAll, a)
+			}
+		}
+		for _, a := range st.owned {
+			mark(a)
+		}
+		for _, sb := range st.touchedSubs {
+			for slot := k.subStart[sb]; slot < k.subStart[sb+1]; slot++ {
+				mark(k.atomOf[slot])
+			}
+		}
+		for _, t := range st.bondTerms {
+			atoms, na := bondedTermAtoms(top, int(t))
+			for _, a := range atoms[:na] {
+				mark(int32(a))
+			}
+		}
+		for _, pi := range st.pair14Idx {
+			p := &e.pair14[pi]
+			mark(int32(p.I))
+			mark(int32(p.J))
+		}
+		for _, p := range st.exclTerms {
+			mark(p[0])
+			mark(p[1])
+		}
+		st.needAll = sortDedupInt32(st.needAll)
+
+		// Import sources: every box owning a needed remote atom. The foot
+		// (force export) destinations are the same boxes: what we import
+		// is exactly what we may accumulate forces for.
+		st.impSrcs = st.impSrcs[:0]
+		for _, a := range st.needAll {
+			b := e.boxOf[a]
+			if b != st.id && s.boxStamp[b] != ep {
+				s.boxStamp[b] = ep
+				st.impSrcs = append(st.impSrcs, b)
+			}
+		}
+		st.impSrcs = sortDedupInt32(st.impSrcs)
+		st.footAtoms = resizeLists(st.footAtoms, len(st.impSrcs))
+		for di, src := range st.impSrcs {
+			lst := st.footAtoms[di][:0]
+			for _, a := range st.needAll {
+				if e.boxOf[a] == src {
+					lst = append(lst, a)
+				}
+			}
+			st.footAtoms[di] = lst
+		}
+
+		// Exclusion-correction touch set and its export grouping.
+		st.exclTouch = st.exclTouch[:0]
+		s.epoch++
+		ep = s.epoch
+		for _, p := range st.exclTerms {
+			for _, a := range p {
+				if s.atomStamp[a] != ep {
+					s.atomStamp[a] = ep
+					st.exclTouch = append(st.exclTouch, a)
+				}
+			}
+		}
+		st.exclTouch = sortDedupInt32(st.exclTouch)
+		st.exclTouchOwned = st.exclTouchOwned[:0]
+		st.exclFootDst = st.exclFootDst[:0]
+		for _, a := range st.exclTouch {
+			if b := e.boxOf[a]; b == st.id {
+				st.exclTouchOwned = append(st.exclTouchOwned, a)
+			} else if s.boxStamp[b] != ep {
+				s.boxStamp[b] = ep
+				st.exclFootDst = append(st.exclFootDst, b)
+			}
+		}
+		st.exclFootDst = sortDedupInt32(st.exclFootDst)
+		st.exclFootAtoms = resizeLists(st.exclFootAtoms, len(st.exclFootDst))
+		for di, dst := range st.exclFootDst {
+			lst := st.exclFootAtoms[di][:0]
+			for _, a := range st.exclTouch {
+				if e.boxOf[a] == dst {
+					lst = append(lst, a)
+				}
+			}
+			st.exclFootAtoms[di] = lst
+		}
+
+		// Local buffers (allocated once; natoms is fixed).
+		if st.lpos == nil {
+			st.lpos = make([]fixp.Vec3, natoms)
+			st.lposF = make([]vec.V3, natoms)
+			st.spos = make([]fixp.Vec3, natoms)
+			st.sbuf = make([]Force3, natoms)
+			st.lfShort = make([]Force3, natoms)
+			st.lfLong = make([]Force3, natoms)
+			st.scratch = make([]vec.V3, natoms)
+			st.meshCounts = make([]int64, len(e.mesh.counts))
+			st.shakeCur = make([]vec.V3, e.maxGroupLen)
+			st.shakeRef = make([]vec.V3, e.maxGroupLen)
+			st.rattleVel = make([]vec.V3, e.maxGroupLen)
+		}
+		if cap(st.posOut) < len(st.owned) {
+			st.posOut = make([]fixp.Vec3, len(st.owned))
+		}
+		st.posOut = st.posOut[:len(st.owned)]
+		st.footOut = resizeForce(st.footOut, st.footAtoms)
+		st.exclFootOut = resizeForce(st.exclFootOut, st.exclFootAtoms)
+	}
+
+	// Invert imports into export destinations, and foot lists into the
+	// receive side. Iterating shards in ascending id keeps every derived
+	// list deterministic.
+	for _, st := range s.shards {
+		for _, src := range st.impSrcs {
+			from := s.shards[src]
+			from.expDsts = append(from.expDsts, st.id)
+		}
+		for di, dst := range st.impSrcs {
+			d := s.shards[dst]
+			d.inFoot++
+			d.inFootFrom[st.id] = st.footAtoms[di]
+		}
+		for di, dst := range st.exclFootDst {
+			d := s.shards[dst]
+			d.inExclFoot++
+			d.inExclFootFrom[st.id] = st.exclFootAtoms[di]
+		}
+	}
+	for _, st := range s.shards {
+		need := len(st.impSrcs)
+		if t := st.inFoot + st.inExclFoot; t > need {
+			need = t
+		}
+		if st.inbox == nil || cap(st.inbox) < need {
+			st.inbox = make(chan shardMsg, need)
+		}
+	}
+
+	s.comm.rebuildStatic(s)
+}
+
+// sortDedupInt32 sorts ascending and removes duplicates in place.
+func sortDedupInt32(a []int32) []int32 {
+	if len(a) < 2 {
+		return a
+	}
+	insertionSortInt32(a)
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func insertionSortInt32(a []int32) {
+	// Lists are short (imports, subboxes) or nearly sorted (needAll built
+	// from sorted sources); a simple sort keeps rebuild allocation-free.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func resizeLists(ls [][]int32, n int) [][]int32 {
+	for len(ls) < n {
+		ls = append(ls, nil)
+	}
+	return ls[:n]
+}
+
+func resizeForce(ls [][]Force3, atoms [][]int32) [][]Force3 {
+	for len(ls) < len(atoms) {
+		ls = append(ls, nil)
+	}
+	ls = ls[:len(atoms)]
+	for i := range ls {
+		if cap(ls[i]) < len(atoms[i]) {
+			ls[i] = make([]Force3, len(atoms[i]))
+		}
+		ls[i] = ls[i][:len(atoms[i])]
+	}
+	return ls
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"anton/internal/obs"
+	"anton/internal/torus"
+)
+
+// Measured communication accounting for sharded runs. The analytic
+// CommReport models what the decomposition *should* send; the sharded
+// pipeline additionally measures what its transport actually sent. The
+// per-exchange message lists are static between migrations, so the
+// traffic is tallied lazily: the driver counts exchanges as they happen
+// and folds (list x multiplier) into the torus accounting at migrations,
+// restores, and report time. Hop counts and link occupancy come from
+// routing the real message set over internal/torus — measured message
+// counts, modeled wire behavior.
+
+// Wire sizes, matching the analytic model in Comm(): three fixed-point
+// coordinates or three compressed force components per atom, 8 bytes per
+// mesh cell contribution, and an atom migration record (position,
+// velocity, ids).
+const (
+	shardPosBytes     = 12
+	shardForceBytes   = 12
+	shardMeshCellB    = 8
+	shardMigrationMsg = 36
+)
+
+// commPair is one (source, destination) message with its payload size.
+type commPair struct {
+	src, dst int
+	bytes    int
+}
+
+// measuredComm accumulates the sharded transport's traffic.
+type measuredComm struct {
+	netImport  *torus.Network
+	netExport  *torus.Network
+	netMesh    *torus.Network
+	netMigrate *torus.Network
+
+	// Static per-exchange message lists, rebuilt with the views.
+	importPairs []commPair
+	exportPairs []commPair
+	exclPairs   []commPair
+
+	// Exchange counts not yet folded into the torus accounting.
+	pendingEvals   int
+	pendingRefresh int
+
+	evals, refreshes int64
+	importMsgs       int64
+	exportMsgs       int64
+	meshMsgs         int64
+	migrationMsgs    int64
+}
+
+func newMeasuredComm(dims [3]int) (*measuredComm, error) {
+	c := &measuredComm{}
+	for _, n := range []**torus.Network{&c.netImport, &c.netExport, &c.netMesh, &c.netMigrate} {
+		net, err := torus.New(dims)
+		if err != nil {
+			return nil, err
+		}
+		*n = net
+	}
+	return c, nil
+}
+
+// rebuildStatic regenerates the per-exchange message lists from the
+// current shard views. Must run after rebuildViews, and only after fold()
+// has settled traffic accumulated under the previous views.
+func (c *measuredComm) rebuildStatic(s *Sharded) {
+	c.importPairs = c.importPairs[:0]
+	c.exportPairs = c.exportPairs[:0]
+	c.exclPairs = c.exclPairs[:0]
+	for _, st := range s.shards {
+		for _, dst := range st.expDsts {
+			c.importPairs = append(c.importPairs,
+				commPair{int(st.id), int(dst), len(st.owned) * shardPosBytes})
+		}
+		for di, dst := range st.impSrcs {
+			c.exportPairs = append(c.exportPairs,
+				commPair{int(st.id), int(dst), len(st.footAtoms[di]) * shardForceBytes})
+		}
+		for di, dst := range st.exclFootDst {
+			c.exclPairs = append(c.exclPairs,
+				commPair{int(st.id), int(dst), len(st.exclFootAtoms[di]) * shardForceBytes})
+		}
+	}
+}
+
+// noteImport records one position exchange (one per force evaluation).
+func (c *measuredComm) noteImport(rec *obs.Recorder) {
+	c.pendingEvals++
+	c.evals++
+	n := int64(len(c.importPairs))
+	c.importMsgs += n
+	if rec != nil && n > 0 {
+		rec.Add(obs.CtrShardImportMsgs, n)
+	}
+}
+
+// noteExport records one force-export exchange (and, on refresh steps,
+// the long-range correction exports riding along).
+func (c *measuredComm) noteExport(rec *obs.Recorder, refresh bool) {
+	n := int64(len(c.exportPairs))
+	if refresh {
+		c.pendingRefresh++
+		c.refreshes++
+		n += int64(len(c.exclPairs))
+	}
+	c.exportMsgs += n
+	if rec != nil && n > 0 {
+		rec.Add(obs.CtrShardExportMsgs, n)
+	}
+}
+
+// noteMesh records one mesh contribution message: cells nonzero cells
+// from src merged into dst's region of the mesh.
+func (c *measuredComm) noteMesh(src, dst, cells int) {
+	c.netMesh.SendN(src, dst, cells*shardMeshCellB, 1)
+	c.meshMsgs++
+}
+
+// noteMigration records one atom changing home box.
+func (c *measuredComm) noteMigration(src, dst int) {
+	c.netMigrate.SendN(src, dst, shardMigrationMsg, 1)
+	c.migrationMsgs++
+}
+
+// fold settles the pending exchange counts into the torus accounting
+// under the current (still valid) message lists.
+func (c *measuredComm) fold() {
+	if c.pendingEvals > 0 {
+		for _, p := range c.importPairs {
+			c.netImport.SendN(p.src, p.dst, p.bytes, c.pendingEvals)
+		}
+		for _, p := range c.exportPairs {
+			c.netExport.SendN(p.src, p.dst, p.bytes, c.pendingEvals)
+		}
+	}
+	if c.pendingRefresh > 0 {
+		for _, p := range c.exclPairs {
+			c.netExport.SendN(p.src, p.dst, p.bytes, c.pendingRefresh)
+		}
+	}
+	c.pendingEvals, c.pendingRefresh = 0, 0
+}
+
+// MeasuredComm is the measured-traffic section of a sharded CommReport:
+// counts of messages the transport actually carried, with hop counts and
+// link occupancy from routing that message set over the torus model.
+type MeasuredComm struct {
+	Evals     int64 // force evaluations measured
+	Refreshes int64 // long-range refreshes among them
+
+	ImportMsgs    int64 // position import messages
+	ExportMsgs    int64 // force export messages (incl. long-range)
+	MeshMsgs      int64 // mesh contribution messages
+	MigrationMsgs int64 // atoms that changed home box
+
+	Import    torus.Stats
+	Export    torus.Stats
+	Mesh      torus.Stats
+	Migration torus.Stats
+}
+
+// report folds and snapshots the cumulative measured traffic.
+func (c *measuredComm) report() *MeasuredComm {
+	c.fold()
+	return &MeasuredComm{
+		Evals:         c.evals,
+		Refreshes:     c.refreshes,
+		ImportMsgs:    c.importMsgs,
+		ExportMsgs:    c.exportMsgs,
+		MeshMsgs:      c.meshMsgs,
+		MigrationMsgs: c.migrationMsgs,
+		Import:        c.netImport.Collect(),
+		Export:        c.netExport.Collect(),
+		Mesh:          c.netMesh.Collect(),
+		Migration:     c.netMigrate.Collect(),
+	}
+}
+
+// String formats the measured section (appended to CommReport.String).
+func (m *MeasuredComm) String() string {
+	if m.Evals == 0 {
+		return "  measured: no force evaluations yet\n"
+	}
+	f := func(name string, msgs int64, st torus.Stats) string {
+		return fmt.Sprintf("    %-14s %8d msgs (%6.1f/eval)  %10d B  max hops %d  busiest link %d B\n",
+			name, msgs, float64(msgs)/float64(m.Evals), st.PayloadBytes, st.MaxHops, st.BusiestChannelBytes)
+	}
+	out := fmt.Sprintf("  measured transport over %d evals (%d refreshes):\n", m.Evals, m.Refreshes)
+	out += f("pos import:", m.ImportMsgs, m.Import)
+	out += f("force export:", m.ExportMsgs, m.Export)
+	out += f("mesh merge:", m.MeshMsgs, m.Mesh)
+	out += f("migration:", m.MigrationMsgs, m.Migration)
+	return out
+}
+
+// Comm returns the analytic communication report for the sharded
+// decomposition plus the measured transport traffic.
+func (s *Sharded) Comm() (*CommReport, error) {
+	rep, err := s.E.Comm()
+	if err != nil {
+		return nil, err
+	}
+	rep.Measured = s.comm.report()
+	return rep, nil
+}
+
+// measuredLanes is the sharded driver's node-lane builder (installed as
+// Engine.laneFn): per-node schedules derived from measured quantities —
+// imported atom counts, pair-consideration tallies, exported force counts
+// — all deterministic, never wall clocks. ModelNs carries the raw count
+// that produced each span.
+func (s *Sharded) measuredLanes() {
+	e := s.E
+	t := e.trc
+	if t == nil || !t.NodeLanesEnabled() {
+		return
+	}
+	n := len(s.shards)
+	names := make([]string, n)
+	spans := make([]obs.NodeSpan, 0, 3*n)
+	type cost struct{ imp, comp, exp int64 }
+	costs := make([]cost, n)
+	maxTotal := int64(1)
+	for i, st := range s.shards {
+		c := e.grid.Coord(i)
+		names[i] = fmt.Sprintf("shard (%d,%d,%d)", c.X, c.Y, c.Z)
+		var imp, exp int64
+		for _, src := range st.impSrcs {
+			imp += int64(len(s.shards[src].owned))
+		}
+		for _, fa := range st.footAtoms {
+			exp += int64(len(fa))
+		}
+		comp := st.tally.Considered
+		if comp == 0 {
+			// Before the first evaluation: size by assignment instead.
+			comp = int64(len(st.myPairs) + len(st.owned) + 1)
+		}
+		costs[i] = cost{imp, comp, exp}
+		if tot := imp + comp + exp; tot > maxTotal {
+			maxTotal = tot
+		}
+	}
+	window := int64(float64(obs.StepVirtualNs) * 0.95)
+	for i, c := range costs {
+		scale := func(v int64) int64 { return v * window / maxTotal }
+		off := int64(0)
+		if c.imp > 0 {
+			spans = append(spans, obs.NodeSpan{
+				Name: "position-import", Node: int32(i), Tid: obs.TidNodeComm,
+				OffsetNs: off, DurNs: scale(c.imp), ModelNs: c.imp,
+			})
+			off += scale(c.imp)
+		}
+		spans = append(spans, obs.NodeSpan{
+			Name: "shard-compute", Node: int32(i), Tid: obs.TidNodeCompute,
+			OffsetNs: off, DurNs: scale(c.comp), ModelNs: c.comp,
+		})
+		off += scale(c.comp)
+		if c.exp > 0 {
+			spans = append(spans, obs.NodeSpan{
+				Name: "force-export", Node: int32(i), Tid: obs.TidNodeComm,
+				OffsetNs: off, DurNs: scale(c.exp), ModelNs: c.exp,
+			})
+		}
+	}
+	t.SetNodeSchedule(names, spans, int64(e.step))
+}
+
+// WriteCheckpoint delegates to the engine: the canonical arrays are the
+// deterministically gathered image (owner writes only, merged at stage
+// barriers), so the monolithic encoder already sees exactly the bytes a
+// per-shard gather would produce.
+func (s *Sharded) WriteCheckpoint(w io.Writer) error { return s.E.WriteCheckpoint(w) }
+
+// RestoreCheckpoint restores the canonical state and rebuilds every shard
+// view. Checkpoints carry no node count, so a checkpoint written at one
+// shard count restores at any other (and into the monolithic engine) with
+// a bitwise-identical continuation. Pending measured traffic is settled
+// under the old decomposition first.
+func (s *Sharded) RestoreCheckpoint(r io.Reader) error {
+	s.comm.fold()
+	if err := s.E.RestoreCheckpoint(r); err != nil {
+		return err
+	}
+	copy(s.prevBoxOf, s.E.boxOf)
+	s.rebuildViews()
+	return nil
+}

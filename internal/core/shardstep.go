@@ -1,0 +1,494 @@
+package core
+
+import (
+	"anton/internal/htis"
+	"anton/internal/obs"
+)
+
+// The sharded step pipeline. Each stage is a closure broadcast to every
+// shard through its command channel; the driver's wait between stages is
+// the barrier. Within a stage a shard first performs all its sends, then
+// receives its expected message count — the inboxes are buffered to hold
+// a full exchange, so sends never block and a stage cannot deadlock.
+//
+// Stage map (driver-serial collectives marked *):
+//
+//	S1  integratePre     half-kick, drift (owned atoms)
+//	S2  constrainPre     SHAKE + virtual-site placement (owned groups)
+//	 *  decode/residency position cache refresh, early-migration check
+//	S3  exchangePositions   position import messages; local views refresh
+//	S4  compute          range-limited pairs, bonded, 1-4; on refresh:
+//	                     exclusion corrections + mesh charge spreading
+//	 *  mergeMesh        wrapping merge of shard mesh counts; FFT convolve
+//	S5  interpolate      (refresh) long-range force interpolation (owned)
+//	S6  mergeForces      force export messages; owner merges + vsite spread
+//	 *  diagnostics      float energy/tally merge in ascending shard order
+//	S7  integratePost    half-kick (owned atoms)
+//	S8  constrainPost    RATTLE (owned groups); * Berendsen collective
+//	 *  migration        deferred migration + view rebuild when due
+//
+// The phases reported to the observability layer are the monolithic
+// engine's (no new phase enums): S1/S7 time as Integration, S2/S8 as
+// Constraints, S3 as PairGather, S4 as PairMatch, S6 as PairReduce, and
+// the collectives keep their monolithic phases.
+
+// Step advances n time steps on the sharded pipeline. The trajectory is
+// bitwise identical to Engine.Step for every shard count: all force and
+// mesh accumulation is wrapping fixed-point (order-independent), each
+// interaction is computed by exactly one shard from bit-copied positions,
+// and every float collective runs driver-serial in the monolithic
+// operation order.
+func (s *Sharded) Step(n int) {
+	if s.E.step == 0 {
+		s.computeForces(true)
+	}
+	for i := 0; i < n; i++ {
+		s.stepOnce()
+	}
+}
+
+func (s *Sharded) stepOnce() {
+	e := s.E
+	dt := e.Cfg.Dt
+	withLongNow := e.step%e.Cfg.MTSInterval == 0
+	cd := e.driftCoeff(dt)
+
+	t0 := e.obsNow()
+	s.each(func(st *shardState) { st.integratePre(dt, cd, withLongNow) })
+	e.obsPhase(obs.PhaseIntegration, t0)
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.constrainPre(dt) })
+	e.obsPhase(obs.PhaseConstraints, t0)
+
+	e.step++
+	withLongNext := e.step%e.Cfg.MTSInterval == 0
+	s.computeForces(withLongNext)
+
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.integratePost(dt, withLongNext) })
+	e.obsPhase(obs.PhaseIntegration, t0)
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.constrainPost() })
+	if e.Cfg.TauT > 0 {
+		// Thermostat collective: the kinetic-energy sum runs in atom order
+		// on the driver, so the scale factor matches the monolithic step.
+		e.berendsenFixed()
+	}
+	e.obsPhase(obs.PhaseConstraints, t0)
+
+	if e.step%e.Cfg.MigrationInterval == 0 {
+		s.migrate()
+	}
+	e.Stats.Steps++
+	if e.rec != nil {
+		e.rec.StepDone()
+	}
+	if e.trc != nil {
+		e.trc.StepDone(int64(e.step))
+	}
+	if e.onStep != nil {
+		e.onStep()
+	}
+}
+
+// computeForces runs one force evaluation through the message-passing
+// stages, mirroring Engine.computeForces exactly.
+func (s *Sharded) computeForces(refresh bool) {
+	e := s.E
+
+	t0 := e.obsNow()
+	e.refreshPosCache()
+	viol := e.residencyViolated()
+	e.obsPhase(obs.PhaseDecode, t0)
+	if viol {
+		if e.rec != nil {
+			e.rec.Add(obs.CtrResidencyMigrations, 1)
+		}
+		s.migrate()
+	}
+
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.exchangePositions() })
+	e.obsPhase(obs.PhasePairGather, t0)
+	s.comm.noteImport(e.rec)
+
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.compute(refresh) })
+	e.obsPhase(obs.PhasePairMatch, t0)
+
+	if refresh {
+		s.mergeMesh()
+		t0 = e.obsNow()
+		e.mesh.convolve(e.workers())
+		e.obsPhase(obs.PhaseFFT, t0)
+		t0 = e.obsNow()
+		s.each(func(st *shardState) { st.interpolate() })
+		e.obsPhase(obs.PhaseMeshInterp, t0)
+	}
+
+	t0 = e.obsNow()
+	s.each(func(st *shardState) { st.mergeForces(refresh) })
+	e.obsPhase(obs.PhasePairReduce, t0)
+	s.comm.noteExport(e.rec, refresh)
+
+	s.mergeDiagnostics(refresh)
+}
+
+// mergeMesh merges the shards' fixed-point mesh contributions into the
+// canonical mesh (wrapping adds: order-independent) and measures the
+// resulting mesh traffic — for every shard, the count of nonzero cells it
+// contributed to each remote home box, one message per (src, dst) pair.
+func (s *Sharded) mergeMesh() {
+	e := s.E
+	ms := e.mesh
+	t0 := e.obsNow()
+	for i := range ms.counts {
+		ms.counts[i] = 0
+	}
+	var meshMsgs int64
+	for _, st := range s.shards {
+		for i := range s.meshScratch {
+			s.meshScratch[i] = 0
+		}
+		for i, c := range st.meshCounts {
+			if c != 0 {
+				ms.counts[i] += c
+				s.meshScratch[s.cellBox[i]]++
+			}
+		}
+		for dst, cells := range s.meshScratch {
+			if cells > 0 && int32(dst) != st.id {
+				s.comm.noteMesh(int(st.id), dst, int(cells))
+				meshMsgs++
+			}
+		}
+	}
+	if e.rec != nil && meshMsgs > 0 {
+		e.rec.Add(obs.CtrShardMeshMsgs, meshMsgs)
+	}
+	e.obsPhase(obs.PhaseMeshSpread, t0)
+}
+
+// mergeDiagnostics folds the shards' float energies, pair tallies and
+// virials in ascending shard order (deterministic for a fixed shard
+// count; these sums feed reporting only, never dynamics).
+func (s *Sharded) mergeDiagnostics(refresh bool) {
+	e := s.E
+	var merged tally
+	var eRL, eBonded, eP14 float64
+	var spread, interp int64
+	if e.Cfg.TrackVirial {
+		e.virial = htis.Virial{}
+	}
+	for _, st := range s.shards {
+		eRL += st.energyRL
+		eBonded += st.energyBonded
+		eP14 += st.energyP14
+		merged.Merge(&st.tally)
+		if e.Cfg.TrackVirial {
+			e.virial.Merge(&st.virial)
+		}
+		spread += st.spreadTally
+		interp += st.interpTally
+	}
+	e.Breakdown.RangeLimited = eRL
+	e.Breakdown.Bonded = eBonded
+	e.Breakdown.Correction = eP14
+	e.Stats.PairsConsidered += merged.Considered
+	e.Stats.PairsMatched += merged.Matched
+	e.Stats.PairsComputed += merged.Computed
+	e.Stats.MeshInteractions += spread + interp
+	if refresh {
+		var eMesh, eExcl float64
+		for _, st := range s.shards {
+			eMesh += st.energyMesh
+			eExcl += st.energyExcl
+		}
+		eMesh += e.Split.SelfEnergy(e.Sys.Top.Atoms)
+		e.Breakdown.Mesh = eMesh + eExcl
+		e.longRangeEnergy = e.Breakdown.Mesh
+		if e.rec != nil {
+			e.rec.Add(obs.CtrLongRangeEvals, 1)
+		}
+	} else {
+		e.Breakdown.Mesh = e.longRangeEnergy
+	}
+	e.PotentialEnergy = e.Breakdown.Total()
+	if e.rec != nil {
+		e.rec.Add(obs.CtrPairsConsidered, merged.Considered)
+		e.rec.Add(obs.CtrPairsMatched, merged.Matched)
+		e.rec.Add(obs.CtrPairsComputed, merged.Computed)
+		e.rec.Add(obs.CtrBatchFlushes, merged.BatchFlushes)
+		e.rec.Add(obs.CtrBatchPairs, merged.BatchPairs)
+		e.rec.AddOccupancy(merged.Occupancy)
+		e.rec.AddPhaseBatch(obs.PhasePairPPIP, merged.PPIPNs, merged.BatchFlushes)
+		if refresh {
+			e.rec.Add(obs.CtrMeshInteractions, spread+interp)
+		}
+	}
+	if e.trc != nil {
+		w := e.workers()
+		for _, st := range s.shards {
+			e.trc.AddWorker(int(st.id)%w, st.tally.PPIPNs, st.tally.BatchFlushes)
+		}
+	}
+}
+
+// migrate runs the migration collective: settle the measured traffic
+// accumulated under the old decomposition, migrate the monolithic state,
+// count the atoms that changed home box as migration messages, and
+// rebuild every shard view.
+func (s *Sharded) migrate() {
+	e := s.E
+	s.comm.fold()
+	copy(s.prevBoxOf, e.boxOf)
+	e.migrate()
+	var moved int64
+	for i := range e.boxOf {
+		if e.boxOf[i] != s.prevBoxOf[i] {
+			s.comm.noteMigration(int(s.prevBoxOf[i]), int(e.boxOf[i]))
+			moved++
+		}
+	}
+	if e.rec != nil && moved > 0 {
+		e.rec.Add(obs.CtrShardMigrationMsgs, moved)
+	}
+	s.rebuildViews()
+	// The lane refresh inside Engine.migrate ran against the old views;
+	// recompute against the fresh ones.
+	if e.trc != nil && e.trc.NodeLanesEnabled() {
+		e.refreshNodeLanes()
+	}
+}
+
+// --- Shard stage bodies. Each runs on the shard's goroutine and touches
+// only owned entries of the canonical arrays, its private buffers, and
+// read-only shared state. ---
+
+// integratePre: first half-kick, pre-drift snapshot, drift — owned atoms.
+func (st *shardState) integratePre(dt, cd float64, withLong bool) {
+	e := st.s.E
+	top := e.Sys.Top
+	for _, ai := range st.owned {
+		a := int(ai)
+		if top.Atoms[a].Mass == 0 {
+			continue
+		}
+		e.kick(a, top.Atoms[a].Mass, dt/2, withLong)
+	}
+	for _, ai := range st.owned {
+		a := int(ai)
+		e.oldPos[a] = e.Pos[a]
+		if top.Atoms[a].Mass == 0 {
+			continue
+		}
+		e.driftAtom(a, cd)
+	}
+}
+
+// constrainPre: SHAKE per owned group (group-local scratch), then owned
+// virtual-site placement (the site and its parents share a group, so all
+// reads are owner-local).
+func (st *shardState) constrainPre(dt float64) {
+	e := st.s.E
+	for _, gi := range st.groups {
+		e.shakeGroup(int(gi), e.oldPos, dt, st.shakeCur, st.shakeRef)
+	}
+	for _, vi := range st.vsites {
+		e.placeVSite(&e.Sys.Top.VSites[vi])
+	}
+}
+
+// exchangePositions: multicast the home box's atoms to every importer,
+// receive the imports, refresh the local float/slot views, and zero the
+// local accumulators for this evaluation.
+func (st *shardState) exchangePositions() {
+	e := st.s.E
+	shards := st.s.shards
+	for oi, a := range st.owned {
+		st.posOut[oi] = e.Pos[a]
+	}
+	for _, dst := range st.expDsts {
+		shards[dst].inbox <- shardMsg{from: st.id, kind: msgPos, pos: st.posOut}
+	}
+	for _, a := range st.owned {
+		st.lpos[a] = e.Pos[a]
+	}
+	for range st.impSrcs {
+		m := <-st.inbox
+		for oi, a := range shards[m.from].owned {
+			st.lpos[a] = m.pos[oi]
+		}
+	}
+	k := &e.pk
+	for _, a := range st.needAll {
+		st.lposF[a] = e.Coder.Decode(st.lpos[a])
+		st.lfShort[a] = Force3{}
+	}
+	for _, sb := range st.touchedSubs {
+		for slot := k.subStart[sb]; slot < k.subStart[sb+1]; slot++ {
+			a := k.atomOf[slot]
+			st.spos[slot] = st.lpos[a]
+			st.sbuf[slot] = Force3{}
+		}
+	}
+}
+
+// compute: the shard's share of every force class. Range-limited pairs go
+// through the shared pair kernel against the shard's slot views; bonded,
+// 1-4 and (on refresh) exclusion terms run on the local position views;
+// refresh steps also spread the owned atoms' charges onto the private
+// mesh buffer.
+func (st *shardState) compute(refresh bool) {
+	e := st.s.E
+	k := &e.pk
+	top := e.Sys.Top
+
+	st.energyRL, st.energyBonded, st.energyP14 = 0, 0, 0
+	st.energyExcl, st.energyMesh = 0, 0
+	st.tally = tally{}
+	st.virial = htis.Virial{}
+	st.spreadTally, st.interpTally = 0, 0
+
+	e.pairScan(st.myPairs, st.spos, st.sbuf, &st.batch,
+		&st.energyRL, &st.tally, &st.virial)
+	for _, sb := range st.touchedSubs {
+		for slot := k.subStart[sb]; slot < k.subStart[sb+1]; slot++ {
+			if f := st.sbuf[slot]; f != (Force3{}) {
+				a := k.atomOf[slot]
+				st.lfShort[a] = st.lfShort[a].Add(f)
+			}
+		}
+	}
+
+	for _, t := range st.bondTerms {
+		st.energyBonded += e.bondedTerm(int(t), st.lposF, st.scratch, st.lfShort)
+	}
+	for _, pi := range st.pair14Idx {
+		st.energyP14 += e.pair14One(&e.pair14[pi], st.lpos, st.lfShort)
+	}
+
+	if refresh {
+		for _, a := range st.exclTouch {
+			st.lfLong[a] = Force3{}
+		}
+		st.energyExcl = e.exclScan(st.exclTerms, st.lpos, st.lfLong)
+		ms := e.mesh
+		for i := range st.meshCounts {
+			st.meshCounts[i] = 0
+		}
+		for _, a := range st.owned {
+			q := top.Atoms[a].Charge
+			if q == 0 {
+				continue
+			}
+			st.spreadTally += ms.spreadAtom(q, st.lposF[a], st.meshCounts)
+		}
+	}
+}
+
+// interpolate (refresh steps): zero the owned long-range forces and add
+// the mesh interpolation for owned charged atoms. Reads only the shared
+// post-convolution mesh.
+func (st *shardState) interpolate() {
+	e := st.s.E
+	ms := e.mesh
+	top := e.Sys.Top
+	for _, a := range st.owned {
+		e.fLong[a] = Force3{}
+	}
+	for _, a := range st.owned {
+		q := top.Atoms[a].Charge
+		if q == 0 {
+			continue
+		}
+		en, fx, fy, fz, n := ms.interpAtom(q, st.lposF[a])
+		st.energyMesh += en
+		e.fLong[a] = e.fLong[a].AddRaw(fx, fy, fz)
+		st.interpTally += n
+	}
+}
+
+// mergeForces: export force contributions to the home boxes, assemble the
+// owned atoms' canonical forces from the local accumulation plus received
+// messages, and finally spread virtual-site forces (only after the site's
+// force is fully merged — the spread rounding is nonlinear in the total).
+func (st *shardState) mergeForces(refresh bool) {
+	e := st.s.E
+	shards := st.s.shards
+	for di, dst := range st.impSrcs {
+		out := st.footOut[di]
+		for oi, a := range st.footAtoms[di] {
+			out[oi] = st.lfShort[a]
+		}
+		shards[dst].inbox <- shardMsg{from: st.id, kind: msgForce, f: out}
+	}
+	if refresh {
+		for di, dst := range st.exclFootDst {
+			out := st.exclFootOut[di]
+			for oi, a := range st.exclFootAtoms[di] {
+				out[oi] = st.lfLong[a]
+			}
+			shards[dst].inbox <- shardMsg{from: st.id, kind: msgForceLong, f: out}
+		}
+	}
+
+	for _, a := range st.owned {
+		e.fShort[a] = st.lfShort[a]
+	}
+	if refresh {
+		// Only the entries this shard's exclusion terms touched are valid
+		// in lfLong (it is sparse-zeroed); the rest would be stale.
+		for _, a := range st.exclTouchOwned {
+			e.fLong[a] = e.fLong[a].Add(st.lfLong[a])
+		}
+	}
+
+	expect := st.inFoot
+	if refresh {
+		expect += st.inExclFoot
+	}
+	for m := 0; m < expect; m++ {
+		msg := <-st.inbox
+		switch msg.kind {
+		case msgForce:
+			for oi, a := range st.inFootFrom[msg.from] {
+				e.fShort[a] = e.fShort[a].Add(msg.f[oi])
+			}
+		case msgForceLong:
+			for oi, a := range st.inExclFootFrom[msg.from] {
+				e.fLong[a] = e.fLong[a].Add(msg.f[oi])
+			}
+		}
+	}
+
+	if refresh {
+		for _, vi := range st.vsites {
+			spreadVSiteForce(e.fLong, &e.Sys.Top.VSites[vi])
+		}
+	}
+	for _, vi := range st.vsites {
+		spreadVSiteForce(e.fShort, &e.Sys.Top.VSites[vi])
+	}
+}
+
+// integratePost: second half-kick — owned atoms.
+func (st *shardState) integratePost(dt float64, withLong bool) {
+	e := st.s.E
+	top := e.Sys.Top
+	for _, ai := range st.owned {
+		a := int(ai)
+		if top.Atoms[a].Mass == 0 {
+			continue
+		}
+		e.kick(a, top.Atoms[a].Mass, dt/2, withLong)
+	}
+}
+
+// constrainPost: RATTLE per owned group.
+func (st *shardState) constrainPost() {
+	e := st.s.E
+	for _, gi := range st.groups {
+		e.rattleGroup(int(gi), st.rattleVel)
+	}
+}

@@ -69,6 +69,19 @@ func AssignPairNode(g Grid, a, b BoxCoord) BoxCoord {
 	}
 }
 
+// SubToBox maps a coordinate on a refined subbox grid to its enclosing
+// home box on the coarse grid. Each subbox dimension must be an integer
+// multiple of the corresponding box dimension (the way the engine refines
+// home boxes into match-unit subboxes), so the mapping is an exact
+// integer division of the per-box refinement factor.
+func SubToBox(sub, boxes Grid, c BoxCoord) BoxCoord {
+	return BoxCoord{
+		X: c.X * boxes.Nx / sub.Nx,
+		Y: c.Y * boxes.Ny / sub.Ny,
+		Z: c.Z * boxes.Nz / sub.Nz,
+	}
+}
+
 // BoxPairsWithinCutoff enumerates every unordered pair of boxes (including
 // a box with itself) whose minimum footprint distance on the torus is
 // within the cutoff, calling fn once per pair. boxSide is the box edge

@@ -1,0 +1,50 @@
+package nt
+
+import "testing"
+
+// TestSubToBoxCoarsens: every subbox must land in the home box whose
+// spatial extent contains it, each box receiving an equal share of a
+// uniformly refined subgrid.
+func TestSubToBoxCoarsens(t *testing.T) {
+	sub := Grid{Nx: 8, Ny: 8, Nz: 8}
+	boxes := Grid{Nx: 2, Ny: 2, Nz: 2}
+	per := make([]int, boxes.NumBoxes())
+	for i := 0; i < sub.NumBoxes(); i++ {
+		c := sub.Coord(i)
+		b := SubToBox(sub, boxes, c)
+		if b.X != c.X/4 || b.Y != c.Y/4 || b.Z != c.Z/4 {
+			t.Fatalf("sub %v -> box %v, want (%d,%d,%d)", c, b, c.X/4, c.Y/4, c.Z/4)
+		}
+		if b.X < 0 || b.X >= boxes.Nx || b.Y < 0 || b.Y >= boxes.Ny || b.Z < 0 || b.Z >= boxes.Nz {
+			t.Fatalf("sub %v mapped out of bounds: %v", c, b)
+		}
+		per[boxes.Index(b)]++
+	}
+	want := sub.NumBoxes() / boxes.NumBoxes()
+	for bi, n := range per {
+		if n != want {
+			t.Fatalf("box %d received %d subboxes, want %d", bi, n, want)
+		}
+	}
+}
+
+// TestSubToBoxAnisotropic: the mapping must follow each axis's own ratio
+// (the subgrid refines each box dimension independently) and be the
+// identity when the grids coincide.
+func TestSubToBoxAnisotropic(t *testing.T) {
+	sub := Grid{Nx: 6, Ny: 4, Nz: 2}
+	boxes := Grid{Nx: 2, Ny: 4, Nz: 1}
+	for i := 0; i < sub.NumBoxes(); i++ {
+		c := sub.Coord(i)
+		b := SubToBox(sub, boxes, c)
+		if b.X != c.X/3 || b.Y != c.Y || b.Z != 0 {
+			t.Fatalf("sub %v -> box %v", c, b)
+		}
+	}
+	g := Grid{Nx: 4, Ny: 4, Nz: 4}
+	for i := 0; i < g.NumBoxes(); i++ {
+		if c := g.Coord(i); SubToBox(g, g, c) != c {
+			t.Fatalf("identity mapping violated at %v", c)
+		}
+	}
+}

@@ -89,6 +89,15 @@ const (
 	CtrMigrations
 	CtrResidencyMigrations // migrations forced by a residency-slack violation
 	CtrLongRangeEvals      // MTS long-range refreshes
+
+	// The shard transport counters: messages actually exchanged between
+	// virtual node shards over the channel transport (zero in monolithic
+	// runs). One message per atom per link, matching the per-atom message
+	// model of the analytic Comm() estimate.
+	CtrShardImportMsgs    // position import messages (home box -> tower/plate importers)
+	CtrShardExportMsgs    // force export messages (computing shard -> home box)
+	CtrShardMeshMsgs      // mesh charge contributions sent to cell-owner nodes
+	CtrShardMigrationMsgs // atoms handed between home boxes at migrations
 	NumCounters
 )
 
@@ -96,6 +105,8 @@ var counterNames = [NumCounters]string{
 	"pairs-considered", "pairs-matched", "pairs-computed",
 	"batch-flushes", "batch-pairs", "mesh-interactions",
 	"migrations", "residency-migrations", "long-range-evals",
+	"shard-import-msgs", "shard-export-msgs", "shard-mesh-msgs",
+	"shard-migration-msgs",
 }
 
 // String returns the counter's stable name.

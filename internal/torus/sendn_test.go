@@ -1,0 +1,44 @@
+package torus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSendNMatchesRepeatedSend: the batched accounting entry point must
+// be exactly equivalent to count individual Sends — the sharded engine
+// folds (message list x exchange count) through SendN, and the measured
+// reports would silently skew if the equivalence drifted.
+func TestSendNMatchesRepeatedSend(t *testing.T) {
+	a, err := New([3]int{4, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New([3]int{4, 2, 2})
+	src := a.Index([3]int{0, 0, 0})
+	dst := a.Index([3]int{2, 1, 1})
+	const payload, count = 36, 7
+	a.SendN(src, dst, payload, count)
+	for i := 0; i < count; i++ {
+		b.Send(src, dst, payload)
+	}
+	if sa, sb := a.Collect(), b.Collect(); !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("SendN stats %+v != %d x Send stats %+v", sa, count, sb)
+	}
+}
+
+// TestSendNDegenerate: self-sends and non-positive counts must account
+// nothing at all.
+func TestSendNDegenerate(t *testing.T) {
+	n, err := New([3]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SendN(3, 3, 100, 5) // src == dst
+	n.SendN(0, 1, 100, 0) // zero count
+	n.SendN(0, 1, 100, -2)
+	s := n.Collect()
+	if s.Messages != 0 || s.PayloadBytes != 0 || s.MaxHops != 0 {
+		t.Fatalf("degenerate SendN calls accounted traffic: %+v", s)
+	}
+}

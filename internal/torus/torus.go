@@ -145,6 +145,27 @@ func (n *Network) Send(src, dst, payloadBytes int) {
 	}
 }
 
+// SendN routes count identical messages of the given payload from src to
+// dst, accumulating the aggregate traffic in one route computation. It is
+// the batched entry point for measured traffic accounting: a sharded run
+// folds its per-link message tallies through here instead of replaying
+// every message individually.
+func (n *Network) SendN(src, dst, payloadBytes, count int) {
+	if src == dst || count <= 0 {
+		return
+	}
+	wire := int64(payloadBytes+n.MessageOverheadB) * int64(count)
+	path := n.Route(src, dst)
+	for _, hop := range path {
+		n.channelBytes[hop.Node][hop.Dir] += wire
+	}
+	n.messages += int64(count)
+	n.totalBytes += int64(payloadBytes) * int64(count)
+	if len(path) > n.maxHops {
+		n.maxHops = len(path)
+	}
+}
+
 // Multicast sends the payload from src to each destination. Anton's
 // hardware multicast delivers one copy per link; this model approximates
 // it by routing to each destination along its own path but counting the

@@ -39,13 +39,17 @@ func wrap1(x, l float64) float64 {
 // periodic image of b nearest to a. Each component of d lies in [-L/2, L/2).
 func (b Box) MinImage(d V3) V3 {
 	return V3{
-		minImage1(d.X, b.L.X),
-		minImage1(d.Y, b.L.Y),
-		minImage1(d.Z, b.L.Z),
+		MinImage1(d.X, b.L.X),
+		MinImage1(d.Y, b.L.Y),
+		MinImage1(d.Z, b.L.Z),
 	}
 }
 
-func minImage1(d, l float64) float64 {
+// MinImage1 reduces a scalar displacement to its minimum image on a ring
+// of circumference l, clamped to [-l/2, l/2). It is the single canonical
+// implementation of periodic minimum-image math; callers should use it
+// instead of re-deriving the round-and-wrap locally.
+func MinImage1(d, l float64) float64 {
 	d -= l * math.Round(d/l)
 	if d < -l/2 {
 		d += l

@@ -10,12 +10,31 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+# Optional gate: run staticcheck when the binary is on PATH, skip quietly
+# otherwise (the container image does not ship it and the repo adds no
+# tool dependencies).
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+
 echo "== race: core + htis + obs + health + trace =="
 # -short skips the long soak tests; the invariance and reduction tests
 # that exercise every parallel section still run. obs and obs/health also
 # cover the Telemetry surface (locked state read by HTTP handlers).
 go test -race -short ./internal/core ./internal/htis ./internal/obs \
 	./internal/obs/health ./internal/trace
+
+echo "== race: sharded virtual-node pipeline =="
+# The sharded execution path is the repo's most concurrency-dense code:
+# one goroutine per shard exchanging position/force messages every step.
+# Run the tentpole invariance test and the cross-shard-count checkpoint
+# restore under the race detector explicitly (they skip under -short, so
+# the generic pass above stays fast).
+go test -race -run 'TestShardInvariance|TestShardCheckpointCrossShardCount' \
+	./internal/core
 
 echo "== determinism: repeated runs =="
 # -count=2 executes each determinism-sensitive test twice in one process,
