@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair profile trace bench-obs shards
+.PHONY: build test test-short verify bench-pair profile trace bench-obs shards chaos
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-obs:
 shards:
 	$(GO) run ./cmd/antonbench -experiment shards -full
 	$(GO) run ./cmd/antonbench -shards-json BENCH_shards.json -full
+
+# Chaos soak: the full fault-injection campaign (message faults, stalls,
+# a shard crash with checkpoint rollback) at 1/8/64 shards, regenerating
+# the committed BENCH_chaos.json record. Every row must report a bitwise
+# match against the fault-free monolithic run.
+chaos:
+	$(GO) run ./cmd/antonbench -experiment chaos
+	$(GO) run ./cmd/antonbench -chaos-json BENCH_chaos.json
 
 # The pair-kernel benchmarks backing BENCH_pairkernel.json.
 bench-pair:

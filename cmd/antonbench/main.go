@@ -108,6 +108,13 @@ var registry = []experiment{
 		}
 		return experiments.ShardScaling(steps)
 	}},
+	{"chaos", true, func(full bool) (string, error) {
+		steps := 60
+		if full {
+			steps = 200
+		}
+		return experiments.Chaos(steps)
+	}},
 	{"water", true, func(full bool) (string, error) {
 		steps, every := 160, 8
 		if full {
@@ -123,6 +130,7 @@ func main() {
 		full        = flag.Bool("full", false, "use full-length runs for the expensive experiments")
 		profileJSON = flag.String("profile-json", "", "run the profile experiment and write its structured record to this file (the BENCH_obs.json generator)")
 		shardsJSON  = flag.String("shards-json", "", "run the shard-scaling experiment and write its structured record to this file (the BENCH_shards.json generator)")
+		chaosJSON   = flag.String("chaos-json", "", "run the chaos-soak experiment and write its structured record to this file (the BENCH_chaos.json generator)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -161,6 +169,24 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("wrote shard scaling record", "file", *shardsJSON, "steps", steps)
+		return
+	}
+
+	if *chaosJSON != "" {
+		steps := 60
+		if *full {
+			steps = 200
+		}
+		b, err := experiments.ChaosJSON(steps)
+		if err != nil {
+			logger.Error("chaos soak", "err", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chaosJSON, b, 0o644); err != nil {
+			logger.Error("write chaos soak", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote chaos soak record", "file", *chaosJSON, "steps", steps)
 		return
 	}
 

@@ -10,7 +10,13 @@
 //	antonsim -system small -steps 200 -metrics metrics.json -pprof localhost:6060
 //	antonsim -system small -steps 500 -trace trace.json -trace-nodes -watch
 //	antonsim -system small -steps 100000 -listen localhost:8777 -watch
+//	antonsim -system small -shards 8 -steps 200 -chaos 'seed=7,drop=0.02,crashes=1'
+//	antonsim -system small -steps 1000 -checkpoint run.ckpt
 //	antonsim -list
+//
+// SIGINT/SIGTERM stop the run gracefully: the current report chunk
+// finishes, a final checkpoint is flushed (with -checkpoint), and the
+// telemetry server drains before exit.
 package main
 
 import (
@@ -22,8 +28,12 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"anton/internal/core"
+	"anton/internal/faults"
 	"anton/internal/machine"
 	"anton/internal/obs"
 	"anton/internal/obs/health"
@@ -53,6 +63,12 @@ func main() {
 		listenAt   = flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /trace) on this address")
 		logFormat  = flag.String("log", "text", "log format: text or json")
 		verbose    = flag.Bool("v", false, "debug-level logging")
+
+		chaosSpec      = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7,drop=0.02,crashes=1' (requires -shards; see internal/faults)")
+		chaosHeartbeat = flag.Duration("chaos-heartbeat", 0, "crash-detection heartbeat timeout (0 = library default)")
+		chaosRestarts  = flag.Int("chaos-restarts", 0, "max restarts per crashed shard before its boxes fold into a survivor (0 = library default, negative = adopt on first crash)")
+		ckptPath       = flag.String("checkpoint", "", "write crash-consistent checkpoints to this file (periodic under -chaos, always flushed on exit)")
+		ckptEvery      = flag.Int("checkpoint-every", 0, "supervised checkpoint cadence in steps under -chaos (0 = library default)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logFormat, *verbose)
@@ -123,6 +139,46 @@ func main() {
 	rng := rand.New(rand.NewSource(2))
 	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 
+	// Fault injection: the chaos plane and the supervised recovery loop
+	// wrap the sharded pipeline (the monolithic engine has no transport to
+	// fault). The trajectory contract holds regardless of the campaign.
+	chaos := *chaosSpec != ""
+	if chaos {
+		if sh == nil {
+			logger.Error("-chaos requires -shards")
+			os.Exit(1)
+		}
+		sp, err := faults.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Error("parse chaos spec", "err", err)
+			os.Exit(1)
+		}
+		plane := faults.New(sp, sh.Shards())
+		fcfg := core.FaultConfig{
+			Plane:           plane,
+			CheckpointEvery: *ckptEvery,
+			MaxRestarts:     *chaosRestarts,
+			Heartbeat:       *chaosHeartbeat,
+			CheckpointPath:  *ckptPath,
+			OnRecovery: func(ev core.RecoveryEvent) {
+				if ev.Spurious {
+					logger.Warn("spurious recovery (stall outlasted the heartbeat)",
+						"step", ev.DetectedStep, "restored", ev.RestoredStep)
+					return
+				}
+				logger.Warn("shard crash recovered",
+					"step", ev.DetectedStep, "restored", ev.RestoredStep,
+					"crashed", ev.Crashed, "adopted", ev.Adopted)
+			},
+		}
+		if err := sh.EnableFaults(fcfg); err != nil {
+			logger.Error("enable faults", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("fault injection armed", "spec", plane.Spec().String(),
+			"crashes", len(plane.Schedule()))
+	}
+
 	// Observability attachments. Everything below is read-only with
 	// respect to the dynamics: the trajectory is bitwise identical with
 	// or without it.
@@ -143,6 +199,12 @@ func main() {
 	var watchdog *core.Watch
 	if *watch || *listenAt != "" {
 		watchdog = core.NewWatch(eng, health.DefaultConfig(), *watchEvery)
+		if sh != nil && chaos {
+			// Feed the transport counters to the retry-storm monitor: a
+			// lossy campaign that pushes the retransmit ratio past the
+			// thresholds surfaces as a watchdog alert.
+			watchdog.WatchTransport(sh.TransportCounts)
+		}
 	}
 
 	var tel *obs.Telemetry
@@ -156,6 +218,12 @@ func main() {
 		logger.Info("telemetry listening", "addr", *listenAt,
 			"endpoints", "/metrics /healthz /trace")
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the run at the
+	// next report boundary (a second signal kills the process the usual
+	// way, since the context stops masking it).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// publish pushes fresh copies of the observability state to the
 	// telemetry surface (the HTTP handlers only ever read those copies).
@@ -185,13 +253,25 @@ func main() {
 	} else {
 		fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
 	}
+	interrupted := false
 	for done := 0; done < *steps; {
+		if ctx.Err() != nil {
+			interrupted = true
+			logger.Info("signal received, stopping", "completed", done, "requested", *steps)
+			break
+		}
 		n := *every
 		if done+n > *steps {
 			n = *steps - done
 		}
 		step(n)
 		done += n
+		if sh != nil {
+			if err := sh.Err(); err != nil {
+				logger.Error("sharded engine parked", "err", err)
+				break
+			}
+		}
 		fmt.Printf("step %5d: T = %6.1f K   PE = %12.2f   E = %12.2f kcal/mol\n",
 			eng.StepCount(), eng.Temperature(), eng.PotentialEnergy, eng.TotalEnergy())
 		if watchdog != nil {
@@ -208,6 +288,31 @@ func main() {
 		publish()
 	}
 
+	// Exit path (normal, interrupted, or parked): flush a final
+	// crash-consistent checkpoint, then drain the telemetry server so
+	// in-flight scrapes finish before the listener dies.
+	if *ckptPath != "" {
+		writeCkpt := eng.WriteCheckpointFile
+		if sh != nil {
+			writeCkpt = sh.WriteCheckpointFile
+		}
+		if err := writeCkpt(*ckptPath); err != nil {
+			logger.Error("final checkpoint", "err", err)
+		} else {
+			logger.Info("final checkpoint flushed", "file", *ckptPath, "step", eng.StepCount())
+		}
+	}
+	if tel != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := tel.Shutdown(sctx); err != nil {
+			logger.Error("telemetry shutdown", "err", err)
+		}
+		cancel()
+	}
+	if interrupted {
+		logger.Info("stopped early on signal", "steps", eng.StepCount())
+	}
+
 	st := eng.Stats
 	fmt.Printf("\nhardware statistics over %d steps:\n", st.Steps)
 	fmt.Printf("  pairs considered by match units: %d\n", st.PairsConsidered)
@@ -220,6 +325,21 @@ func main() {
 		reg := watchdog.Registry()
 		fmt.Printf("  watchdog: worst severity %s (%d warn, %d critical alerts)\n",
 			reg.Worst(), reg.Fired(health.SevWarn), reg.Fired(health.SevCrit))
+	}
+	if chaos {
+		rep := sh.FaultReport()
+		fmt.Printf("\nfault campaign over %d steps:\n", st.Steps)
+		fmt.Printf("  injected: %d drops, %d dups, %d delays, %d corruptions, %d stalls, %d crashes\n",
+			rep.Injected.Drops, rep.Injected.Dups, rep.Injected.Delays,
+			rep.Injected.Corrupts, rep.Injected.Stalls, rep.Injected.CrashesFired)
+		fmt.Printf("  recoveries: %d (%d replayed steps", rep.Recoveries, rep.ReplaySteps)
+		if rep.Recoveries > 0 {
+			fmt.Printf(", mean %.1f ms", float64(rep.RecoveryNs)/float64(rep.Recoveries)/1e6)
+		}
+		fmt.Printf("); adoptions: %d; dead shards: %v\n", rep.Adoptions, rep.DeadShards)
+		fmt.Printf("  transport: %d sends, %d retransmits, %d dup discards, %d crc discards\n",
+			rep.Transport.Sends, rep.Transport.Retransmits,
+			rep.Transport.DupDiscards, rep.Transport.CrcDiscards)
 	}
 
 	if rec != nil && *metrics != "" {

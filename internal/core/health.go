@@ -30,13 +30,24 @@ type Watch struct {
 	lastMig int
 	drift   float64 // worst drift observed since the last eval
 
+	transport func() (sends, retransmits int64)
+	lastSends int64
+	lastRetx  int64
+
 	pending []health.Alert
 }
 
-// NewWatch builds a watch evaluating every cadence steps (minimum 1) and
-// installs it as the engine's step hook. A thermostatted engine
-// (Cfg.TauT > 0) exchanges energy with the bath by design, so the
-// energy-drift monitor is disabled there automatically.
+// defaultWatchCadence is used when NewWatch is given a non-positive
+// cadence: frequent enough that a drifting invariant fires within tens
+// of steps, sparse enough that the O(N) sampling pass is noise.
+const defaultWatchCadence = 10
+
+// NewWatch builds a watch evaluating every cadence steps and installs it
+// as the engine's step hook. A non-positive cadence selects the default
+// (every 10 steps) rather than evaluating every step — a cadence of 0 is
+// a configuration mistake, not a request for maximal sampling. A
+// thermostatted engine (Cfg.TauT > 0) exchanges energy with the bath by
+// design, so the energy-drift monitor is disabled there automatically.
 //
 // The cadence is rounded up to a multiple of the MTS interval: total
 // energy oscillates within the long-range refresh cycle (the fast forces
@@ -44,8 +55,8 @@ type Watch struct {
 // misaligned cadence would alias that oscillation into apparent drift an
 // order of magnitude above the real secular trend.
 func NewWatch(e *Engine, cfg health.Config, cadence int) *Watch {
-	if cadence < 1 {
-		cadence = 1
+	if cadence <= 0 {
+		cadence = defaultWatchCadence
 	}
 	if m := e.Cfg.MTSInterval; m > 1 && cadence%m != 0 {
 		cadence += m - cadence%m
@@ -67,6 +78,22 @@ func NewWatch(e *Engine, cfg health.Config, cadence int) *Watch {
 
 // Registry exposes the underlying watchdog registry.
 func (w *Watch) Registry() *health.Registry { return w.reg }
+
+// Cadence returns the effective evaluation cadence after default
+// substitution and MTS rounding.
+func (w *Watch) Cadence() int { return w.cadence }
+
+// WatchTransport wires a transport-counter source (typically
+// Sharded.TransportCounts) into the watch: each evaluation computes the
+// retransmit-per-send ratio over the window since the previous one and
+// feeds it to the retry-storm monitor, so a lossy or saturated transport
+// surfaces as a health alert rather than only as silent retry latency.
+func (w *Watch) WatchTransport(src func() (sends, retransmits int64)) {
+	w.transport = src
+	if src != nil {
+		w.lastSends, w.lastRetx = src()
+	}
+}
 
 // Drain returns and clears the alerts fired since the last call.
 func (w *Watch) Drain() []health.Alert {
@@ -116,6 +143,15 @@ func (w *Watch) tick() {
 		Drift:           w.drift,
 		Slack:           e.MigrationSlack(),
 		HaveDrift:       true,
+	}
+	if w.transport != nil {
+		sends, retx := w.transport()
+		dS, dR := sends-w.lastSends, retx-w.lastRetx
+		w.lastSends, w.lastRetx = sends, retx
+		if dS > 0 {
+			s.RetryRate = float64(dR) / float64(dS)
+			s.HaveRetry = true
+		}
 	}
 	w.drift = 0
 	if alerts := w.reg.Eval(s); len(alerts) > 0 {

@@ -47,7 +47,14 @@ type Sharded struct {
 	E *Engine
 
 	shards []*shardState
-	wg     sync.WaitGroup
+	done   chan stageDone // stage-completion signals from the executors
+	closed chan struct{}  // closed by Close; releases helper goroutines
+
+	// Fault-tolerance state (nil/zero in plain runs; see EnableFaults).
+	sup    *supervisor
+	primed bool   // initial force evaluation done (step-0 compute)
+	xid    uint32 // last minted exchange id (driver-serial)
+	err    error  // sticky unrecoverable failure (see Err)
 
 	comm *measuredComm
 
@@ -76,12 +83,35 @@ const (
 
 // shardMsg is one transport message. Buffers are owned by the sender and
 // reused across steps; the stage barriers guarantee the receiver has
-// consumed a buffer before the sender refills it.
+// consumed a buffer before the sender refills it. The envelope fields
+// (epoch, xid, crc, attempt, flags) are zero in plain runs and carry the
+// reliable-transport protocol under fault injection — a receiver always
+// checks (epoch, xid) before touching the payload, because a delayed or
+// retransmitted message may alias a buffer the sender has since refilled.
 type shardMsg struct {
-	from int32
-	kind uint8
-	pos  []fixp.Vec3
-	f    []Force3
+	from    int32
+	kind    uint8
+	epoch   uint32 // recovery epoch the message belongs to
+	xid     uint32 // exchange id (driver-minted, globally unique)
+	crc     uint32 // CRC32 (IEEE) over the payload (remote sends only)
+	attempt uint8  // transmission attempt (1 = first send)
+	flags   uint8  // msgLoopback etc.
+	pos     []fixp.Vec3
+	f       []Force3
+}
+
+// shardCmd is one broadcast work item: the stage closure plus the
+// supervisor tick it belongs to (zero in plain runs).
+type shardCmd struct {
+	fn   func(*shardState)
+	tick uint64
+}
+
+// stageDone signals one executor's completion of a stage. The tick lets
+// the collector discard stragglers from an aborted earlier stage.
+type stageDone struct {
+	id   int32
+	tick uint64
 }
 
 // shardState is one virtual node: its static work assignment, its
@@ -91,8 +121,18 @@ type shardState struct {
 	id int32
 	s  *Sharded
 
-	cmd   chan func(*shardState)
+	cmd   chan shardCmd
 	inbox chan shardMsg
+
+	// Reliable-transport state (allocated/used only under EnableFaults).
+	acks    chan shardAck  // acknowledgements for our in-flight sends
+	pending []shardMsg     // loopback envelopes diverted by a full inbox
+	out     []outMsg       // in-flight sends of the current exchange
+	gotPos  []uint32       // per-sender xid stamps: position import applied
+	gotF    []uint32       // per-sender xid stamps: short-force export applied
+	gotFL   []uint32       // per-sender xid stamps: long-force export applied
+	crcBuf  []byte         // payload serialization scratch for CRC32
+	tstats  transportTally // transport accounting (driver-read between stages)
 
 	// Static work assignment (NT pair node; set once at construction).
 	myPairs     [][2]int32
@@ -190,23 +230,25 @@ func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
 	}
 
 	// Shard goroutines.
+	// Sized past one signal per executor so stragglers from an aborted
+	// stage (and restarted executors' duplicates) never block on send.
+	sh.done = make(chan stageDone, 4*n)
+	sh.closed = make(chan struct{})
 	sh.shards = make([]*shardState, n)
 	for i := range sh.shards {
 		st := &shardState{
 			id:             int32(i),
 			s:              sh,
-			cmd:            make(chan func(*shardState)),
+			cmd:            make(chan shardCmd),
+			gotPos:         make([]uint32, n),
+			gotF:           make([]uint32, n),
+			gotFL:          make([]uint32, n),
 			inFootFrom:     make(map[int32][]int32),
 			inExclFootFrom: make(map[int32][]int32),
 		}
 		st.batch.init()
 		sh.shards[i] = st
-		go func(st *shardState) {
-			for fn := range st.cmd {
-				fn(st)
-				sh.wg.Done()
-			}
-		}(st)
+		sh.spawnShard(st)
 	}
 
 	// Static NT pair assignment: each interacting subbox pair belongs to
@@ -240,23 +282,60 @@ func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
 	return sh, nil
 }
 
+// spawnShard starts (or restarts) the executor goroutine for st. The
+// executor loops on the command channel, running one stage closure per
+// broadcast and signaling completion on the shared done channel. An
+// injected crash (panic(errShardCrash) inside the closure) exits the
+// goroutine without a completion signal — exactly what a dead node looks
+// like to the supervisor's heartbeat.
+func (s *Sharded) spawnShard(st *shardState) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != errShardCrash {
+				panic(r)
+			}
+		}()
+		for c := range st.cmd {
+			c.fn(st)
+			s.done <- stageDone{id: st.id, tick: c.tick}
+		}
+	}()
+}
+
 // Close stops the shard goroutines. The underlying Engine stays usable.
 func (s *Sharded) Close() {
 	s.closeOnce.Do(func() {
+		close(s.closed)
 		for _, st := range s.shards {
 			close(st.cmd)
 		}
 	})
 }
 
-// each runs fn on every shard concurrently and waits for all of them —
-// one pipeline stage barrier.
-func (s *Sharded) each(fn func(*shardState)) {
-	s.wg.Add(len(s.shards))
-	for _, st := range s.shards {
-		st.cmd <- fn
+// runEach runs one pipeline stage — the send half, then the body half, on
+// every shard — and waits for all of them (the stage barrier). In plain
+// runs this is a straight broadcast; under EnableFaults the supervisor
+// injects stalls/crashes, runs adopted states on their surviving
+// executor, and detects dead shards (non-nil return).
+func (s *Sharded) runEach(stage uint8, send, body func(*shardState)) *stageFail {
+	if s.sup != nil {
+		return s.sup.runStage(stage, send, body)
 	}
-	s.wg.Wait()
+	fn := func(st *shardState) {
+		if send != nil {
+			send(st)
+		}
+		if body != nil {
+			body(st)
+		}
+	}
+	for _, st := range s.shards {
+		st.cmd <- shardCmd{fn: fn}
+	}
+	for range s.shards {
+		<-s.done
+	}
+	return nil
 }
 
 // Engine exposes the underlying engine for read-only reporting.
@@ -484,6 +563,17 @@ func (s *Sharded) rebuildViews() {
 		need := len(st.impSrcs)
 		if t := st.inFoot + st.inExclFoot; t > need {
 			need = t
+		}
+		if s.sup != nil {
+			// Reliable mode: the inbox also absorbs duplicates, delayed
+			// stragglers from earlier exchanges and retransmissions, and the
+			// ack channel one ack per (possibly repeated) send. Size both
+			// generously — overflow is survivable (counted drop, recovered
+			// by retransmission) but wasteful.
+			need = need*10 + 16
+			if st.acks == nil || cap(st.acks) < need {
+				st.acks = make(chan shardAck, need)
+			}
 		}
 		if st.inbox == nil || cap(st.inbox) < need {
 			st.inbox = make(chan shardMsg, need)

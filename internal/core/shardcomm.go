@@ -295,5 +295,9 @@ func (s *Sharded) RestoreCheckpoint(r io.Reader) error {
 	}
 	copy(s.prevBoxOf, s.E.boxOf)
 	s.rebuildViews()
+	// Recompute the initial forces if the restored state is at step 0 —
+	// the recompute is bitwise idempotent, and a restore elsewhere resumes
+	// from the checkpointed force arrays directly.
+	s.primed = false
 	return nil
 }

@@ -31,44 +31,93 @@ import (
 // engine's (no new phase enums): S1/S7 time as Integration, S2/S8 as
 // Constraints, S3 as PairGather, S4 as PairMatch, S6 as PairReduce, and
 // the collectives keep their monolithic phases.
+//
+// Under fault injection every stage can fail: a shard goroutine may have
+// been crashed by the fault plane, leaving the stage barrier incomplete.
+// stepOnce/computeForces then return a non-nil *stageFail instead of
+// running the driver-serial collectives (whose inputs are garbage after a
+// partial stage), and the supervisor rolls the whole engine back to the
+// last checkpoint. That makes mid-step state after a failure irrelevant:
+// correctness only requires that a *completed* step is bitwise identical
+// to the monolithic one, which holds because the reliable transport
+// applies exactly the plain transport's message set (exactly-once) and
+// all accumulation is order-independent fixed-point.
+
+// Pipeline stage identifiers — the "phase" key of the fault plane's
+// deterministic draws (stalls are keyed by (step, stage, shard); crashes
+// fire at the position exchange, before or after its send half).
+const (
+	stIntegratePre uint8 = iota
+	stConstrainPre
+	stExchangePos
+	stCompute
+	stInterpolate
+	stMergeForces
+	stIntegratePost
+	stConstrainPost
+)
+
+// stageFail reports an incomplete stage barrier: the executors that never
+// signaled completion (empty = spurious heartbeat timeout; every executor
+// turned out to be alive, but the abort already poisoned the stage).
+type stageFail struct {
+	crashed []int32
+}
 
 // Step advances n time steps on the sharded pipeline. The trajectory is
 // bitwise identical to Engine.Step for every shard count: all force and
 // mesh accumulation is wrapping fixed-point (order-independent), each
 // interaction is computed by exactly one shard from bit-copied positions,
 // and every float collective runs driver-serial in the monolithic
-// operation order.
+// operation order. Under EnableFaults the same guarantee holds for every
+// injected fault schedule; an unrecoverable failure parks the engine with
+// Err() set.
 func (s *Sharded) Step(n int) {
-	if s.E.step == 0 {
+	if s.sup != nil {
+		s.stepSupervised(n)
+		return
+	}
+	if s.E.step == 0 && !s.primed {
 		s.computeForces(true)
+		s.primed = true
 	}
 	for i := 0; i < n; i++ {
 		s.stepOnce()
 	}
 }
 
-func (s *Sharded) stepOnce() {
+func (s *Sharded) stepOnce() *stageFail {
 	e := s.E
 	dt := e.Cfg.Dt
 	withLongNow := e.step%e.Cfg.MTSInterval == 0
 	cd := e.driftCoeff(dt)
 
 	t0 := e.obsNow()
-	s.each(func(st *shardState) { st.integratePre(dt, cd, withLongNow) })
+	if f := s.runEach(stIntegratePre, nil, func(st *shardState) { st.integratePre(dt, cd, withLongNow) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhaseIntegration, t0)
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.constrainPre(dt) })
+	if f := s.runEach(stConstrainPre, nil, func(st *shardState) { st.constrainPre(dt) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhaseConstraints, t0)
 
 	e.step++
 	withLongNext := e.step%e.Cfg.MTSInterval == 0
-	s.computeForces(withLongNext)
+	if f := s.computeForces(withLongNext); f != nil {
+		return f
+	}
 
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.integratePost(dt, withLongNext) })
+	if f := s.runEach(stIntegratePost, nil, func(st *shardState) { st.integratePost(dt, withLongNext) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhaseIntegration, t0)
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.constrainPost() })
+	if f := s.runEach(stConstrainPost, nil, func(st *shardState) { st.constrainPost() }); f != nil {
+		return f
+	}
 	if e.Cfg.TauT > 0 {
 		// Thermostat collective: the kinetic-energy sum runs in atom order
 		// on the driver, so the scale factor matches the monolithic step.
@@ -89,11 +138,12 @@ func (s *Sharded) stepOnce() {
 	if e.onStep != nil {
 		e.onStep()
 	}
+	return nil
 }
 
 // computeForces runs one force evaluation through the message-passing
 // stages, mirroring Engine.computeForces exactly.
-func (s *Sharded) computeForces(refresh bool) {
+func (s *Sharded) computeForces(refresh bool) *stageFail {
 	e := s.E
 
 	t0 := e.obsNow()
@@ -108,12 +158,19 @@ func (s *Sharded) computeForces(refresh bool) {
 	}
 
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.exchangePositions() })
+	x := s.newExchange()
+	if f := s.runEach(stExchangePos,
+		func(st *shardState) { st.sendPositions(x) },
+		func(st *shardState) { st.recvPositions(x) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhasePairGather, t0)
 	s.comm.noteImport(e.rec)
 
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.compute(refresh) })
+	if f := s.runEach(stCompute, nil, func(st *shardState) { st.compute(refresh) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhasePairMatch, t0)
 
 	if refresh {
@@ -122,16 +179,24 @@ func (s *Sharded) computeForces(refresh bool) {
 		e.mesh.convolve(e.workers())
 		e.obsPhase(obs.PhaseFFT, t0)
 		t0 = e.obsNow()
-		s.each(func(st *shardState) { st.interpolate() })
+		if f := s.runEach(stInterpolate, nil, func(st *shardState) { st.interpolate() }); f != nil {
+			return f
+		}
 		e.obsPhase(obs.PhaseMeshInterp, t0)
 	}
 
 	t0 = e.obsNow()
-	s.each(func(st *shardState) { st.mergeForces(refresh) })
+	xf := s.newExchange()
+	if f := s.runEach(stMergeForces,
+		func(st *shardState) { st.sendForces(xf, refresh) },
+		func(st *shardState) { st.recvForces(xf, refresh) }); f != nil {
+		return f
+	}
 	e.obsPhase(obs.PhasePairReduce, t0)
 	s.comm.noteExport(e.rec, refresh)
 
 	s.mergeDiagnostics(refresh)
+	return nil
 }
 
 // mergeMesh merges the shards' fixed-point mesh contributions into the
@@ -299,26 +364,44 @@ func (st *shardState) constrainPre(dt float64) {
 	}
 }
 
-// exchangePositions: multicast the home box's atoms to every importer,
-// receive the imports, refresh the local float/slot views, and zero the
-// local accumulators for this evaluation.
-func (st *shardState) exchangePositions() {
+// sendPositions: multicast the home box's atoms to every importer (the
+// send half of the position exchange).
+func (st *shardState) sendPositions(x *xchg) {
 	e := st.s.E
-	shards := st.s.shards
 	for oi, a := range st.owned {
 		st.posOut[oi] = e.Pos[a]
 	}
+	st.beginSend()
 	for _, dst := range st.expDsts {
-		shards[dst].inbox <- shardMsg{from: st.id, kind: msgPos, pos: st.posOut}
+		st.sendMsg(x, dst, msgPos, st.posOut, nil)
 	}
+}
+
+// recvPositions: receive the imports, refresh the local float/slot views,
+// and zero the local accumulators for this evaluation.
+func (st *shardState) recvPositions(x *xchg) {
+	e := st.s.E
+	shards := st.s.shards
 	for _, a := range st.owned {
 		st.lpos[a] = e.Pos[a]
 	}
-	for range st.impSrcs {
-		m := <-st.inbox
+	ok := st.runProtocol(x, len(st.impSrcs), func(m *shardMsg) bool {
+		if m.kind != msgPos {
+			return false
+		}
+		if x.reliable() {
+			if st.gotPos[m.from] == x.xid {
+				return false
+			}
+			st.gotPos[m.from] = x.xid
+		}
 		for oi, a := range shards[m.from].owned {
 			st.lpos[a] = m.pos[oi]
 		}
+		return true
+	})
+	if !ok {
+		return // aborted: recovery restores everything from the checkpoint
 	}
 	k := &e.pk
 	for _, a := range st.needAll {
@@ -409,19 +492,16 @@ func (st *shardState) interpolate() {
 	}
 }
 
-// mergeForces: export force contributions to the home boxes, assemble the
-// owned atoms' canonical forces from the local accumulation plus received
-// messages, and finally spread virtual-site forces (only after the site's
-// force is fully merged — the spread rounding is nonlinear in the total).
-func (st *shardState) mergeForces(refresh bool) {
-	e := st.s.E
-	shards := st.s.shards
+// sendForces: export force contributions to the home boxes (the send half
+// of the force merge).
+func (st *shardState) sendForces(x *xchg, refresh bool) {
+	st.beginSend()
 	for di, dst := range st.impSrcs {
 		out := st.footOut[di]
 		for oi, a := range st.footAtoms[di] {
 			out[oi] = st.lfShort[a]
 		}
-		shards[dst].inbox <- shardMsg{from: st.id, kind: msgForce, f: out}
+		st.sendMsg(x, dst, msgForce, nil, out)
 	}
 	if refresh {
 		for di, dst := range st.exclFootDst {
@@ -429,10 +509,17 @@ func (st *shardState) mergeForces(refresh bool) {
 			for oi, a := range st.exclFootAtoms[di] {
 				out[oi] = st.lfLong[a]
 			}
-			shards[dst].inbox <- shardMsg{from: st.id, kind: msgForceLong, f: out}
+			st.sendMsg(x, dst, msgForceLong, nil, out)
 		}
 	}
+}
 
+// recvForces: assemble the owned atoms' canonical forces from the local
+// accumulation plus received messages, and finally spread virtual-site
+// forces (only after the site's force is fully merged — the spread
+// rounding is nonlinear in the total).
+func (st *shardState) recvForces(x *xchg, refresh bool) {
+	e := st.s.E
 	for _, a := range st.owned {
 		e.fShort[a] = st.lfShort[a]
 	}
@@ -448,18 +535,38 @@ func (st *shardState) mergeForces(refresh bool) {
 	if refresh {
 		expect += st.inExclFoot
 	}
-	for m := 0; m < expect; m++ {
-		msg := <-st.inbox
-		switch msg.kind {
+	ok := st.runProtocol(x, expect, func(m *shardMsg) bool {
+		switch m.kind {
 		case msgForce:
-			for oi, a := range st.inFootFrom[msg.from] {
-				e.fShort[a] = e.fShort[a].Add(msg.f[oi])
+			if x.reliable() {
+				if st.gotF[m.from] == x.xid {
+					return false
+				}
+				st.gotF[m.from] = x.xid
 			}
+			for oi, a := range st.inFootFrom[m.from] {
+				e.fShort[a] = e.fShort[a].Add(m.f[oi])
+			}
+			return true
 		case msgForceLong:
-			for oi, a := range st.inExclFootFrom[msg.from] {
-				e.fLong[a] = e.fLong[a].Add(msg.f[oi])
+			if !refresh {
+				return false
 			}
+			if x.reliable() {
+				if st.gotFL[m.from] == x.xid {
+					return false
+				}
+				st.gotFL[m.from] = x.xid
+			}
+			for oi, a := range st.inExclFootFrom[m.from] {
+				e.fLong[a] = e.fLong[a].Add(m.f[oi])
+			}
+			return true
 		}
+		return false
+	})
+	if !ok {
+		return // aborted: recovery restores everything from the checkpoint
 	}
 
 	if refresh {

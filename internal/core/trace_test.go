@@ -160,6 +160,11 @@ func TestWatchHealthySoak(t *testing.T) {
 	}
 	st := w.Registry().Status(obs.SchemaVersion)
 	for _, m := range st.Monitors {
+		if m.Name == "retry-storm" {
+			// Transport-fed; a monolithic engine has no source wired
+			// (covered by TestWatchTransportRetryRate on the sharded one).
+			continue
+		}
 		if !m.Seen {
 			t.Errorf("monitor %q never evaluated over the soak", m.Name)
 		}
@@ -194,5 +199,26 @@ func TestWatchInjectedThreshold(t *testing.T) {
 	}
 	if w.Registry().Fired(health.SevCrit) != 1 {
 		t.Errorf("crit fired %d times, want 1", w.Registry().Fired(health.SevCrit))
+	}
+}
+
+// TestWatchCadenceValidation: a non-positive cadence is a configuration
+// mistake and must select the documented default, not per-step sampling;
+// any cadence still honors the MTS-alignment rounding.
+func TestWatchCadenceValidation(t *testing.T) {
+	e := smallWaterEngine(t, 1, nil)
+	for _, bad := range []int{0, -3} {
+		w := NewWatch(e, health.DefaultConfig(), bad)
+		if w.Cadence() < defaultWatchCadence {
+			t.Fatalf("cadence %d produced eval cadence %d, want >= %d",
+				bad, w.Cadence(), defaultWatchCadence)
+		}
+		if m := e.Cfg.MTSInterval; m > 1 && w.Cadence()%m != 0 {
+			t.Fatalf("cadence %d not MTS-aligned (interval %d)", w.Cadence(), m)
+		}
+	}
+	w := NewWatch(e, health.DefaultConfig(), 7)
+	if c := w.Cadence(); c < 7 {
+		t.Fatalf("explicit cadence 7 shrank to %d", c)
 	}
 }

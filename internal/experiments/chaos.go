@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"anton/internal/core"
+	"anton/internal/faults"
+	"anton/internal/obs"
+	"anton/internal/system"
+)
+
+// ChaosRow is one shard count's measurements in the chaos-soak
+// experiment (the BENCH_chaos.json record): the cost and the outcome of
+// running the full fault campaign — message faults, stalls, one shard
+// crash with checkpoint rollback — against the sharded engine.
+type ChaosRow struct {
+	Shards       int     `json:"shards"`
+	WallMs       float64 `json:"wall_ms"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	BitwiseMatch bool    `json:"bitwise_match"` // final state identical to the fault-free monolithic run
+
+	Recoveries   int64   `json:"recoveries"`
+	ReplaySteps  int64   `json:"replay_steps"`
+	MeanRecovMs  float64 `json:"mean_recovery_ms"`
+	Adoptions    int64   `json:"adoptions"`
+	DeadShards   int     `json:"dead_shards"`
+	Sends        int64   `json:"sends"`
+	Retransmits  int64   `json:"retransmits"`
+	RetxOverhead float64 `json:"retransmit_overhead"` // retransmits / sends
+
+	Injected faults.Counts `json:"injected"`
+}
+
+// ChaosData is the structured result of the chaos-soak experiment.
+type ChaosData struct {
+	Schema string     `json:"schema"`
+	System string     `json:"system"`
+	Atoms  int        `json:"atoms"`
+	Steps  int        `json:"steps"`
+	Spec   string     `json:"spec"`
+	Rows   []ChaosRow `json:"rows"`
+}
+
+// chaosCampaignSpec is the experiment's standard fault mix: every fault
+// class at rates that exercise the transport hard, plus one crash inside
+// the first three quarters of the run so the recovery path (rollback,
+// replay, re-exchange) is always measured.
+func chaosCampaignSpec(steps int) (faults.Spec, error) {
+	sp, err := faults.ParseSpec(
+		"seed=7,drop=0.03,dup=0.02,delay=0.03,corrupt=0.01,stall=0.004,maxstall=5ms")
+	if err != nil {
+		return faults.Spec{}, err
+	}
+	sp.Crashes = 1
+	sp.CrashHorizon = 3 * steps / 4
+	if sp.CrashHorizon < 1 {
+		sp.CrashHorizon = 1
+	}
+	return sp, nil
+}
+
+// Chaos runs the chaos-soak experiment and renders the plain-text
+// report.
+func Chaos(steps int) (string, error) {
+	d, err := chaosData(steps)
+	if err != nil {
+		return "", err
+	}
+	return renderChaos(d), nil
+}
+
+// ChaosJSON runs the chaos-soak experiment and returns the structured
+// record as indented JSON — the generator of the committed
+// BENCH_chaos.json artifact (make chaos).
+func ChaosJSON(steps int) ([]byte, error) {
+	d, err := chaosData(steps)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func chaosData(steps int) (*ChaosData, error) {
+	s, err := system.Small(true, 21)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := chaosCampaignSpec(steps)
+	if err != nil {
+		return nil, err
+	}
+	d := &ChaosData{
+		Schema: obs.SchemaVersion,
+		System: s.Name,
+		Atoms:  s.NAtoms(),
+		Steps:  steps,
+		Spec:   spec.String(),
+	}
+
+	// The acceptance bar: the fault-free monolithic trajectory.
+	refP, refV, err := shardReference(steps)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, shards := range []int{1, 8, 64} {
+		sys, err := system.Small(true, 21)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := core.NewSharded(sys, core.DefaultConfig(shards))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(33))
+		sh.SetVelocities(system.InitVelocities(sys.Top, 300, rng))
+
+		plane := faults.New(spec, sh.Shards())
+		if err := sh.EnableFaults(core.FaultConfig{
+			Plane:           plane,
+			CheckpointEvery: 10,
+			Heartbeat:       250 * time.Millisecond,
+		}); err != nil {
+			sh.Close()
+			return nil, err
+		}
+
+		start := time.Now()
+		sh.Step(steps)
+		wall := time.Since(start)
+		if err := sh.Err(); err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("experiments: chaos run on %d shards parked: %w", shards, err)
+		}
+
+		p, v := sh.Snapshot()
+		match := true
+		for i := range refP {
+			if p[i] != refP[i] || v[i] != refV[i] {
+				match = false
+				break
+			}
+		}
+		rep := sh.FaultReport()
+		sh.Close()
+
+		row := ChaosRow{
+			Shards:       shards,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			StepsPerSec:  float64(steps) / wall.Seconds(),
+			BitwiseMatch: match,
+			Recoveries:   rep.Recoveries,
+			ReplaySteps:  rep.ReplaySteps,
+			Adoptions:    rep.Adoptions,
+			DeadShards:   len(rep.DeadShards),
+			Sends:        rep.Transport.Sends,
+			Retransmits:  rep.Transport.Retransmits,
+			Injected:     rep.Injected,
+		}
+		if rep.Recoveries > 0 {
+			row.MeanRecovMs = float64(rep.RecoveryNs) / float64(rep.Recoveries) / 1e6
+		}
+		if rep.Transport.Sends > 0 {
+			row.RetxOverhead = float64(rep.Transport.Retransmits) / float64(rep.Transport.Sends)
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// renderChaos formats the structured record as the experiment's
+// plain-text report.
+func renderChaos(d *ChaosData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak (%s, %d atoms, %d steps per run):\n", d.System, d.Atoms, d.Steps)
+	fmt.Fprintf(&b, "campaign: %s\n", d.Spec)
+	fmt.Fprintf(&b, "%7s %9s %6s %7s %9s %8s %7s %8s  %s\n",
+		"shards", "steps/s", "recov", "replay", "recov ms", "sends", "retx", "overhead", "bitwise")
+	for _, r := range d.Rows {
+		match := "match"
+		if !r.BitwiseMatch {
+			match = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "%7d %9.2f %6d %7d %9.1f %8d %7d %8.4f  %s\n",
+			r.Shards, r.StepsPerSec, r.Recoveries, r.ReplaySteps, r.MeanRecovMs,
+			r.Sends, r.Retransmits, r.RetxOverhead, match)
+	}
+	fmt.Fprintf(&b, "(every row injects drops, dups, delays, corruption, stalls and one\n")
+	fmt.Fprintf(&b, " shard crash; recovery rolls every shard back to the last checkpoint\n")
+	fmt.Fprintf(&b, " and replays — the bitwise column is the correctness verdict)\n")
+	return b.String()
+}

@@ -102,6 +102,9 @@ type Sample struct {
 	Drift     float64 // max single-atom drift since last migration, Å
 	Slack     float64 // the engine's residency slack, Å
 	HaveDrift bool
+
+	RetryRate float64 // transport retransmits per send since the last sample
+	HaveRetry bool
 }
 
 // Monitor is one watched invariant with warn/crit thresholds and latched
@@ -216,6 +219,11 @@ type Config struct {
 	// the entire residency slack between migrations.
 	SlackWarn, SlackCrit float64
 
+	// RetryWarn/Crit bound the transport retransmit-per-send ratio between
+	// samples. A quiet link sits near zero; a retry storm (dropping or
+	// saturated transport retransmitting most traffic) climbs past 1.
+	RetryWarn, RetryCrit float64
+
 	// Rearm is the hysteresis re-arm fraction (default 0.8).
 	Rearm float64
 
@@ -236,6 +244,8 @@ func DefaultConfig() Config {
 		HeadroomCritBits: 2,
 		SlackWarn:        0.6,
 		SlackCrit:        1.0,
+		RetryWarn:        0.5,
+		RetryCrit:        2.0,
 		Rearm:            0.8,
 		MaxAlerts:        256,
 	}
@@ -267,6 +277,12 @@ func New(cfg Config) *Registry {
 	}
 	if cfg.MaxAlerts == 0 {
 		cfg.MaxAlerts = def.MaxAlerts
+	}
+	if cfg.RetryWarn == 0 {
+		cfg.RetryWarn = def.RetryWarn
+	}
+	if cfg.RetryCrit == 0 {
+		cfg.RetryCrit = def.RetryCrit
 	}
 	r := &Registry{alerts: make([]Alert, cfg.MaxAlerts)}
 	if !cfg.DisableEnergy {
@@ -318,6 +334,14 @@ func New(cfg Config) *Registry {
 				return 0, false
 			}
 			return s.Drift / s.Slack, true
+		},
+	})
+	r.AddMonitor(&Monitor{
+		Name: "retry-storm", Unit: "retransmits/send",
+		Warn: cfg.RetryWarn, Crit: cfg.RetryCrit,
+		HigherBad: true, Rearm: cfg.Rearm,
+		value: func(_ *Registry, s Sample) (float64, bool) {
+			return s.RetryRate, s.HaveRetry
 		},
 	})
 	return r

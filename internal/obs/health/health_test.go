@@ -273,3 +273,48 @@ func TestStatusJSON(t *testing.T) {
 		t.Errorf("alerts: %+v", doc.Alerts)
 	}
 }
+
+// TestRetryStormMonitor: the transport retransmit ratio is absent on a
+// non-sharded run (HaveRetry false → silent), warns past RetryWarn and
+// latches critical past RetryCrit.
+func TestRetryStormMonitor(t *testing.T) {
+	r := New(DefaultConfig())
+	s := healthySample(1, -1000.0)
+	if alerts := r.Eval(s); len(alerts) != 0 {
+		t.Fatalf("sample without retry data fired %v", alerts)
+	}
+
+	s.Step, s.HaveRetry, s.RetryRate = 2, true, 0.1
+	if alerts := r.Eval(s); len(alerts) != 0 {
+		t.Fatalf("quiet transport fired %v", alerts)
+	}
+
+	s.Step, s.RetryRate = 3, 0.8 // past the 0.5 warn default
+	alerts := r.Eval(s)
+	if len(alerts) != 1 || alerts[0].Monitor != "retry-storm" || alerts[0].Severity != SevWarn {
+		t.Fatalf("retry rate 0.8 fired %v, want one retry-storm warn", alerts)
+	}
+
+	s.Step, s.RetryRate = 4, 3.0 // past the 2.0 crit default
+	alerts = r.Eval(s)
+	if len(alerts) != 1 || alerts[0].Severity != SevCrit {
+		t.Fatalf("retry rate 3.0 fired %v, want one critical", alerts)
+	}
+	if r.Worst() != SevCrit {
+		t.Errorf("worst = %v, want critical", r.Worst())
+	}
+}
+
+// TestRetryThresholdDefaulting: a zero-valued Config must not turn the
+// retry-storm monitor into a hair trigger — New substitutes the default
+// thresholds like it does for Rearm and MaxAlerts.
+func TestRetryThresholdDefaulting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetryWarn, cfg.RetryCrit = 0, 0 // pre-retry-monitor configs have these zero
+	r := New(cfg)
+	s := healthySample(1, -1000.0)
+	s.HaveRetry, s.RetryRate = true, 0.1
+	if alerts := r.Eval(s); len(alerts) != 0 {
+		t.Fatalf("zero-config retry thresholds fired %v", alerts)
+	}
+}

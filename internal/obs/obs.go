@@ -98,6 +98,24 @@ const (
 	CtrShardExportMsgs    // force export messages (computing shard -> home box)
 	CtrShardMeshMsgs      // mesh charge contributions sent to cell-owner nodes
 	CtrShardMigrationMsgs // atoms handed between home boxes at migrations
+
+	// Fault-injection and recovery counters (zero unless a fault plane is
+	// attached to the sharded engine). The injected-fault counters mirror
+	// the plane's verdict tallies; the transport counters measure the
+	// retry/ack machinery's reaction; the recovery counters measure the
+	// checkpoint-rollback path.
+	CtrFaultDrops    // injected message drops
+	CtrFaultDups     // injected message duplications
+	CtrFaultDelays   // injected message delays (reordering)
+	CtrFaultCorrupts // injected payload bit-flips
+	CtrFaultStalls   // injected slow-shard stalls
+	CtrFaultCrashes  // injected shard crashes that fired
+	CtrRetransmits   // timeout-driven retransmissions
+	CtrDupDiscards   // duplicate envelopes dropped by receive-side dedup
+	CtrCrcDiscards   // envelopes dropped by the payload CRC check
+	CtrRecoveries    // supervised checkpoint-rollback recoveries
+	CtrReplaySteps   // steps replayed after rollbacks
+	CtrRecoveryNs    // wall time spent in recovery
 	NumCounters
 )
 
@@ -107,6 +125,9 @@ var counterNames = [NumCounters]string{
 	"migrations", "residency-migrations", "long-range-evals",
 	"shard-import-msgs", "shard-export-msgs", "shard-mesh-msgs",
 	"shard-migration-msgs",
+	"fault-drops", "fault-dups", "fault-delays", "fault-corrupts",
+	"fault-stalls", "fault-crashes", "retransmits", "dup-discards",
+	"crc-discards", "recoveries", "replay-steps", "recovery-ns",
 }
 
 // String returns the counter's stable name.

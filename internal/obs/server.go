@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,6 +35,7 @@ type Telemetry struct {
 	status     health.Status
 	haveStatus bool
 	traceJSON  []byte
+	srv        *http.Server
 }
 
 // NewTelemetry builds an empty telemetry surface.
@@ -80,9 +84,51 @@ func (t *Telemetry) Handler() http.Handler {
 	return mux
 }
 
-// ListenAndServe serves the telemetry surface on addr (blocking).
+// server lazily builds (once) the http.Server shared by ListenAndServe
+// and Serve, so a later Shutdown reaches whichever entry point started
+// the listener.
+func (t *Telemetry) server(addr string) *http.Server {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.srv == nil {
+		t.srv = &http.Server{Addr: addr, Handler: t.Handler()}
+	}
+	return t.srv
+}
+
+// ListenAndServe serves the telemetry surface on addr, blocking until
+// Shutdown (returning nil) or a listener error.
 func (t *Telemetry) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, t.Handler())
+	err := t.server(addr).ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Serve serves the telemetry surface on an existing listener (tests bind
+// port 0 themselves to learn the address). Blocks like ListenAndServe
+// and returns nil after Shutdown.
+func (t *Telemetry) Serve(ln net.Listener) error {
+	err := t.server(ln.Addr().String()).Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the telemetry server: the listener closes
+// immediately, in-flight scrapes finish (bounded by ctx), and the
+// blocked ListenAndServe/Serve call returns nil. Safe to call when no
+// server was ever started.
+func (t *Telemetry) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	srv := t.srv
+	t.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 func (t *Telemetry) serveMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -36,6 +36,21 @@ echo "== race: sharded virtual-node pipeline =="
 go test -race -run 'TestShardInvariance|TestShardCheckpointCrossShardCount' \
 	./internal/core
 
+echo "== chaos: fault injection + recovery under race =="
+# A short seeded campaign through the reliable transport and the crash
+# supervisor: the quiet-plane run proves the protocol machinery is
+# invisible, the single-shard run exercises crash detection, checkpoint
+# rollback and replay. Both assert the trajectory stays bitwise the
+# monolithic one.
+go test -race -run 'TestChaosReliableNoFaults|TestChaosSingleShard' \
+	./internal/core
+
+echo "== chaos: replay determinism =="
+# The same seed must replay the same campaign — crash schedule, fault
+# classes, and the bitwise trajectory. -count=2 runs it twice in one
+# process so cross-run state leaks cannot hide.
+go test -count=2 -run 'TestChaosReplayDeterminism' ./internal/core
+
 echo "== determinism: repeated runs =="
 # -count=2 executes each determinism-sensitive test twice in one process,
 # which is what exposes map-iteration-order bugs (the Comm() importer
