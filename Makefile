@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair profile trace bench-obs shards chaos
+.PHONY: build test test-short verify bench-pair bench-mesh profile trace bench-obs shards chaos scaling
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,18 @@ chaos:
 bench-pair:
 	$(GO) test -run '^$$' -bench 'BenchmarkRangeLimitedForces|BenchmarkStepDHFRScale' \
 		-benchtime 3x ./internal/core
+
+# The mesh/FFT hot-path benchmarks: every one must report 0 allocs/op on
+# the steady-state path (plans, tiles, worker buffers preallocated).
+bench-mesh:
+	$(GO) test -run '^$$' -bench 'BenchmarkFFT3D|BenchmarkDistFFT' \
+		-benchtime 100x ./internal/fft
+	$(GO) test -run '^$$' -bench 'BenchmarkMeshForces' \
+		-benchtime 3x ./internal/core
+
+# Mesh strong-scaling run: steps/sec of the long-range mesh path across
+# GOMAXPROCS and shard counts at DHFR scale, regenerating the committed
+# BENCH_meshscaling.json record.
+scaling:
+	$(GO) run ./cmd/antonbench -experiment scaling
+	$(GO) run ./cmd/antonbench -meshscaling-json BENCH_meshscaling.json

@@ -108,6 +108,13 @@ var registry = []experiment{
 		}
 		return experiments.ShardScaling(steps)
 	}},
+	{"scaling", true, func(full bool) (string, error) {
+		steps := 6
+		if full {
+			steps = 24
+		}
+		return experiments.MeshScaling(steps)
+	}},
 	{"chaos", true, func(full bool) (string, error) {
 		steps := 60
 		if full {
@@ -131,6 +138,7 @@ func main() {
 		profileJSON = flag.String("profile-json", "", "run the profile experiment and write its structured record to this file (the BENCH_obs.json generator)")
 		shardsJSON  = flag.String("shards-json", "", "run the shard-scaling experiment and write its structured record to this file (the BENCH_shards.json generator)")
 		chaosJSON   = flag.String("chaos-json", "", "run the chaos-soak experiment and write its structured record to this file (the BENCH_chaos.json generator)")
+		scalingJSON = flag.String("meshscaling-json", "", "run the mesh strong-scaling experiment and write its structured record to this file (the BENCH_meshscaling.json generator)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -169,6 +177,24 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("wrote shard scaling record", "file", *shardsJSON, "steps", steps)
+		return
+	}
+
+	if *scalingJSON != "" {
+		steps := 6
+		if *full {
+			steps = 24
+		}
+		b, err := experiments.MeshScalingJSON(steps)
+		if err != nil {
+			logger.Error("mesh scaling", "err", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*scalingJSON, b, 0o644); err != nil {
+			logger.Error("write mesh scaling", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote mesh scaling record", "file", *scalingJSON, "steps", steps)
 		return
 	}
 

@@ -149,6 +149,12 @@ type Engine struct {
 	reduceChunkFn func(w, lo, hi int)
 	redu          forceReduction
 
+	// Mesh-phase chunk closures (spread, count merge, interpolate),
+	// preallocated for the same reason.
+	meshSpreadFn func(w, lo, hi int)
+	meshMergeFn  func(w, lo, hi int)
+	meshInterpFn func(w, lo, hi int)
+
 	// posCache holds the decoded (float, Å) positions of the current
 	// force evaluation, shared by every float consumer (bonded terms,
 	// mesh, residency checks) instead of per-phase decode passes.
@@ -343,6 +349,9 @@ func NewEngine(s *system.System, cfg Config) (*Engine, error) {
 	e.pairChunkFn = e.pairChunk
 	e.bondedChunkFn = e.bondedChunk
 	e.reduceChunkFn = e.reduceChunk
+	e.meshSpreadFn = e.meshSpreadChunk
+	e.meshMergeFn = e.meshMergeChunk
+	e.meshInterpFn = e.meshInterpChunk
 
 	e.posCache = make([]vec.V3, s.NAtoms())
 	e.refreshPosCache()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"anton/internal/ewald"
@@ -42,6 +43,11 @@ type meshSolver struct {
 	workerCounts   [][]int64 // per-worker spreading buffers
 	workerTallies  []int64   // per-worker interaction counts (reused)
 	workerEnergies []float64 // per-worker energy partials (reused)
+
+	// activeMerge stages the number of fresh worker buffers for the
+	// parallel count merge (the chunks the spread pass actually ran;
+	// buffers past it hold stale data from a wider earlier pass).
+	activeMerge int
 }
 
 func newMeshSolver(s *system.System, split ewald.Split) (*meshSolver, error) {
@@ -55,6 +61,14 @@ func newMeshSolver(s *system.System, split ewald.Split) (*meshSolver, error) {
 		l:       s.Box.L.X,
 		counts:  make([]int64, n*n*n),
 		mesh:    fft.NewGrid3(n, n, n),
+	}
+	// The spread/interpolate inner loops stage per-axis index and
+	// displacement tables in fixed-size stack arrays (concurrency-safe
+	// with zero allocations); reject configurations whose spreading
+	// radius would overflow them.
+	if span := 2*int(math.Ceil(ms.rspread/ms.h)) + 3; span > meshAxisMax {
+		return nil, fmt.Errorf("core: mesh spreading span %d exceeds %d points per axis (rspread %.2f, h %.2f)",
+			span, meshAxisMax, ms.rspread, ms.h)
 	}
 	// The spreading kernel as a PPIP table of x = (d/rspread)^2.
 	var err error
@@ -112,9 +126,6 @@ func (e *Engine) meshForces() float64 {
 	// scheduling, exactly like the force accumulators.
 	t0 := e.obsNow()
 	workers := e.workers()
-	for i := range ms.counts {
-		ms.counts[i] = 0
-	}
 	if len(ms.workerCounts) < workers {
 		ms.workerCounts = make([][]int64, workers)
 		for w := range ms.workerCounts {
@@ -127,27 +138,14 @@ func (e *Engine) meshForces() float64 {
 	for w := range meshTallies {
 		meshTallies[w] = 0
 	}
-	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
-		counts := ms.workerCounts[w]
-		for i := range counts {
-			counts[i] = 0
-		}
-		var tally int64
-		for i := lo; i < hi; i++ {
-			q := top.Atoms[i].Charge
-			if q == 0 {
-				continue
-			}
-			tally += ms.spreadAtom(q, e.posCache[i], counts)
-		}
-		meshTallies[w] = tally
-	})
+	parallelChunks(len(top.Atoms), workers, e.meshSpreadFn)
+	// Merge the fresh worker buffers into the mesh accumulator, parallel
+	// across disjoint cell ranges in fixed worker order. Only the chunks
+	// the spread pass actually ran hold live data.
+	ms.activeMerge = activeChunks(len(top.Atoms), workers)
+	parallelChunks(len(ms.counts), workers, e.meshMergeFn)
 	spreadTally := int64(0)
 	for w := 0; w < workers; w++ {
-		counts := ms.workerCounts[w]
-		for i := range ms.counts {
-			ms.counts[i] += counts[i]
-		}
 		e.Stats.MeshInteractions += meshTallies[w]
 		spreadTally += meshTallies[w]
 	}
@@ -166,22 +164,7 @@ func (e *Engine) meshForces() float64 {
 		energies[w] = 0
 		meshTallies[w] = 0
 	}
-	parallelChunks(len(top.Atoms), workers, func(w, lo, hi int) {
-		var energy float64
-		var tally int64
-		for i := lo; i < hi; i++ {
-			q := top.Atoms[i].Charge
-			if q == 0 {
-				continue
-			}
-			en, fx, fy, fz, n := ms.interpAtom(q, e.posCache[i])
-			energy += en
-			e.fLong[i] = e.fLong[i].AddRaw(fx, fy, fz)
-			tally += n
-		}
-		energies[w] = energy
-		meshTallies[w] = tally
-	})
+	parallelChunks(len(top.Atoms), workers, e.meshInterpFn)
 	energy := 0.0
 	interpTally := int64(0)
 	for w := 0; w < workers; w++ {
@@ -198,17 +181,143 @@ func (e *Engine) meshForces() float64 {
 	return energy
 }
 
+// meshSpreadChunk spreads atoms [lo, hi) into worker w's private mesh
+// buffer (zeroed here, so stale contents from earlier passes never leak).
+func (e *Engine) meshSpreadChunk(w, lo, hi int) {
+	ms := e.mesh
+	top := e.Sys.Top
+	counts := ms.workerCounts[w]
+	for i := range counts {
+		counts[i] = 0
+	}
+	var tally int64
+	for i := lo; i < hi; i++ {
+		q := top.Atoms[i].Charge
+		if q == 0 {
+			continue
+		}
+		tally += ms.spreadAtom(q, e.posCache[i], counts)
+	}
+	ms.workerTallies[w] = tally
+}
+
+// meshMergeChunk merges cell range [lo, hi) of the fresh worker buffers
+// into the mesh accumulator. Each cell is written by exactly one chunk,
+// and the per-cell sum runs in fixed worker order.
+func (e *Engine) meshMergeChunk(_, lo, hi int) {
+	ms := e.mesh
+	counts0 := ms.workerCounts[0]
+	for i := lo; i < hi; i++ {
+		c := counts0[i]
+		for w := 1; w < ms.activeMerge; w++ {
+			c += ms.workerCounts[w][i]
+		}
+		ms.counts[i] = c
+	}
+}
+
+// meshInterpChunk interpolates long-range forces for atoms [lo, hi); each
+// atom's force entry is written only by its owning chunk.
+func (e *Engine) meshInterpChunk(w, lo, hi int) {
+	ms := e.mesh
+	top := e.Sys.Top
+	var energy float64
+	var tally int64
+	for i := lo; i < hi; i++ {
+		q := top.Atoms[i].Charge
+		if q == 0 {
+			continue
+		}
+		en, fx, fy, fz, n := ms.interpAtom(q, e.posCache[i])
+		energy += en
+		e.fLong[i] = e.fLong[i].AddRaw(fx, fy, fz)
+		tally += n
+	}
+	ms.workerEnergies[w] = energy
+	ms.workerTallies[w] = tally
+}
+
+// activeChunks returns the number of chunks parallelChunks(n, workers, fn)
+// actually runs — the prefix of worker buffers a staged parallel pass
+// freshly wrote.
+func activeChunks(n, workers int) int {
+	if workers <= 1 || n < 2*workers {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	a := (n + chunk - 1) / chunk
+	if a > workers {
+		a = workers
+	}
+	return a
+}
+
+// meshAxisMax bounds the per-axis stack tables of the spread/interpolate
+// loops: the largest number of mesh planes a spreading sphere may touch
+// along one axis (checked at solver construction).
+const meshAxisMax = 64
+
+// meshIter stages one atom's mesh-point iteration: wrapped indices and
+// minimum-image displacements along each axis, computed once per atom
+// instead of once per mesh point. It lives on the caller's stack, so
+// concurrent workers and shard goroutines never share scratch.
+type meshIter struct {
+	ni, nj, nk int
+	ix, iy, iz [meshAxisMax]int32
+	dx, dy, dz [meshAxisMax]float64
+}
+
+// fill computes the axis tables for the mesh points within rspread of p.
+// Iteration order (k, j, i ascending) matches the historical traversal.
+func (it *meshIter) fill(ms *meshSolver, p vec.V3) {
+	it.ni = ms.fillAxis(p.X, &it.ix, &it.dx)
+	it.nj = ms.fillAxis(p.Y, &it.iy, &it.dy)
+	it.nk = ms.fillAxis(p.Z, &it.iz, &it.dz)
+}
+
+// fillAxis fills one axis table and returns the point count.
+func (ms *meshSolver) fillAxis(p float64, idx *[meshAxisMax]int32, d *[meshAxisMax]float64) int {
+	c0 := int(math.Floor((p - ms.rspread) / ms.h))
+	c1 := int(math.Ceil((p + ms.rspread) / ms.h))
+	n := ms.n
+	for c := c0; c <= c1; c++ {
+		dc := float64(c)*ms.h - p
+		dc -= ms.l * math.Round(dc/ms.l)
+		idx[c-c0] = int32(modN(c, n))
+		d[c-c0] = dc
+	}
+	return c1 - c0 + 1
+}
+
 // spreadAtom spreads one atom's charge onto the mesh, accumulating the
 // quantized contributions into counts (wrapping adds: order-independent)
 // and returning the number of atom-mesh interactions. counts may be a
 // worker buffer or a shard-private buffer — merges commute bitwise.
 func (ms *meshSolver) spreadAtom(q float64, r vec.V3, counts []int64) int64 {
+	var it meshIter
+	it.fill(ms, r)
+	rc2 := ms.rspread * ms.rspread
+	n := ms.n
 	var tally int64
-	ms.forEachMeshPoint(r, func(idx int, d2 float64, _ vec.V3) {
-		c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
-		counts[idx] += c // wrapping accumulate: order-independent
-		tally++
-	})
+	for kk := 0; kk < it.nk; kk++ {
+		dz := it.dz[kk]
+		planeBase := int(it.iz[kk]) * n
+		for jj := 0; jj < it.nj; jj++ {
+			dy := it.dy[jj]
+			dyz2 := dy*dy + dz*dz
+			rowBase := (planeBase + int(it.iy[jj])) * n
+			for ii := 0; ii < it.ni; ii++ {
+				dx := it.dx[ii]
+				d2 := dx*dx + dyz2
+				if d2 > rc2 {
+					continue
+				}
+				c := int64(math.RoundToEven(q * ms.weight(d2) / ChargeQuantum))
+				counts[rowBase+int(it.ix[ii])] += c // wrapping accumulate: order-independent
+				tally++
+			}
+		}
+	}
 	return tally
 }
 
@@ -232,59 +341,43 @@ func (ms *meshSolver) convolve(workers int) {
 // raw force components, and the interaction tally. Reads only the shared
 // post-convolution mesh, so concurrent shards may call it freely.
 func (ms *meshSolver) interpAtom(q float64, r vec.V3) (energy float64, fx, fy, fz int64, tally int64) {
+	var it meshIter
+	it.fill(ms, r)
+	rc2 := ms.rspread * ms.rspread
+	n := ms.n
 	h3 := ms.h * ms.h * ms.h
 	invS2 := 1 / (ms.sigma1 * ms.sigma1)
 	var ex float64
 	var sx, sy, sz float64
-	ms.forEachMeshPoint(r, func(idx int, d2 float64, d vec.V3) {
-		phi := real(ms.mesh.Data[idx])
-		wgt := ms.weight(d2)
-		ex += phi * wgt
-		s := phi * wgt * invS2
-		sx += s * d.X
-		sy += s * d.Y
-		sz += s * d.Z
-		tally++
-	})
+	for kk := 0; kk < it.nk; kk++ {
+		dz := it.dz[kk]
+		planeBase := int(it.iz[kk]) * n
+		for jj := 0; jj < it.nj; jj++ {
+			dy := it.dy[jj]
+			dyz2 := dy*dy + dz*dz
+			rowBase := (planeBase + int(it.iy[jj])) * n
+			for ii := 0; ii < it.ni; ii++ {
+				dx := it.dx[ii]
+				d2 := dx*dx + dyz2
+				if d2 > rc2 {
+					continue
+				}
+				phi := real(ms.mesh.Data[rowBase+int(it.ix[ii])])
+				wgt := ms.weight(d2)
+				ex += phi * wgt
+				s := phi * wgt * invS2
+				sx += s * dx
+				sy += s * dy
+				sz += s * dz
+				tally++
+			}
+		}
+	}
 	energy = 0.5 * q * h3 * ex
 	fx = htis.QuantizeForce(-q * h3 * sx)
 	fy = htis.QuantizeForce(-q * h3 * sy)
 	fz = htis.QuantizeForce(-q * h3 * sz)
 	return energy, fx, fy, fz, tally
-}
-
-// forEachMeshPoint visits mesh points within rspread of p, passing the
-// linear index, squared distance, and displacement d = r_m - p (minimum
-// image). Deterministic iteration order (k, j, i ascending).
-func (ms *meshSolver) forEachMeshPoint(p vec.V3, fn func(idx int, d2 float64, d vec.V3)) {
-	rc2 := ms.rspread * ms.rspread
-	i0 := int(math.Floor((p.X - ms.rspread) / ms.h))
-	i1 := int(math.Ceil((p.X + ms.rspread) / ms.h))
-	j0 := int(math.Floor((p.Y - ms.rspread) / ms.h))
-	j1 := int(math.Ceil((p.Y + ms.rspread) / ms.h))
-	k0 := int(math.Floor((p.Z - ms.rspread) / ms.h))
-	k1 := int(math.Ceil((p.Z + ms.rspread) / ms.h))
-	n := ms.n
-	for k := k0; k <= k1; k++ {
-		dz := float64(k)*ms.h - p.Z
-		dz -= ms.l * math.Round(dz/ms.l)
-		kw := modN(k, n)
-		for j := j0; j <= j1; j++ {
-			dy := float64(j)*ms.h - p.Y
-			dy -= ms.l * math.Round(dy/ms.l)
-			jw := modN(j, n)
-			rowBase := (kw*n + jw) * n
-			for i := i0; i <= i1; i++ {
-				dx := float64(i)*ms.h - p.X
-				dx -= ms.l * math.Round(dx/ms.l)
-				d2 := dx*dx + dy*dy + dz*dz
-				if d2 > rc2 {
-					continue
-				}
-				fn(rowBase+modN(i, n), d2, vec.V3{X: dx, Y: dy, Z: dz})
-			}
-		}
-	}
 }
 
 func modN(a, n int) int {

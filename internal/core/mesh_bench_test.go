@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// BenchmarkMeshForces measures one full long-range mesh evaluation
+// (spread -> FFT convolution -> interpolation) at DHFR scale. The
+// steady-state mesh path must be allocation-free: plans, tiles, worker
+// buffers and per-atom axis tables are all preallocated or stack-resident.
+func BenchmarkMeshForces(b *testing.B) {
+	e := dhfrBenchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for j := range e.fLong {
+			e.fLong[j] = Force3{}
+		}
+		sink += e.meshForces()
+	}
+	_ = sink
+}

@@ -63,8 +63,12 @@ type Sharded struct {
 	subBox  []int32
 	cellBox []int32
 
-	prevBoxOf   []int32 // boxOf snapshot for migration-traffic accounting
-	meshScratch []int64 // per-destination nonzero-cell counts (merge scratch)
+	prevBoxOf []int32 // boxOf snapshot for migration-traffic accounting
+
+	// meshCellRows[si][dst] counts the nonzero mesh cells shard si
+	// contributed to home box dst (merge scratch, one row per shard so the
+	// traffic pass parallelizes across shards without collisions).
+	meshCellRows [][]int64
 
 	// Rebuild scratch: epoch-stamped membership marks.
 	atomStamp []int32
@@ -199,7 +203,6 @@ func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
 	sh.prevBoxOf = make([]int32, len(e.Pos))
 	sh.atomStamp = make([]int32, len(e.Pos))
 	sh.boxStamp = make([]int32, n)
-	sh.meshScratch = make([]int64, n)
 	for i := range sh.atomStamp {
 		sh.atomStamp[i] = -1
 	}
@@ -345,12 +348,12 @@ func (s *Sharded) Engine() *Engine { return s.E }
 func (s *Sharded) Shards() int { return len(s.shards) }
 
 // Delegated state and observability access (same contracts as Engine).
-func (s *Sharded) StepCount() int                     { return s.E.StepCount() }
-func (s *Sharded) Snapshot() ([]fixp.Vec3, []Vel3)    { return s.E.Snapshot() }
-func (s *Sharded) SetVelocities(v []vec.V3)           { s.E.SetVelocities(v) }
-func (s *Sharded) Observe(r *obs.Recorder)            { s.E.Observe(r) }
-func (s *Sharded) Trace(t *obs.Tracer)                { s.E.Trace(t) }
-func (s *Sharded) OnStep(fn func())                   { s.E.OnStep(fn) }
+func (s *Sharded) StepCount() int                  { return s.E.StepCount() }
+func (s *Sharded) Snapshot() ([]fixp.Vec3, []Vel3) { return s.E.Snapshot() }
+func (s *Sharded) SetVelocities(v []vec.V3)        { s.E.SetVelocities(v) }
+func (s *Sharded) Observe(r *obs.Recorder)         { s.E.Observe(r) }
+func (s *Sharded) Trace(t *obs.Tracer)             { s.E.Trace(t) }
+func (s *Sharded) OnStep(fn func())                { s.E.OnStep(fn) }
 
 // bondedTermAtoms returns the atoms of a bonded term by flat index
 // (bonds, then angles, then dihedrals, then impropers) — the ownership

@@ -207,21 +207,50 @@ func (s *Sharded) mergeMesh() {
 	e := s.E
 	ms := e.mesh
 	t0 := e.obsNow()
-	for i := range ms.counts {
-		ms.counts[i] = 0
-	}
-	var meshMsgs int64
-	for _, st := range s.shards {
-		for i := range s.meshScratch {
-			s.meshScratch[i] = 0
+	workers := e.workers()
+	shards := s.shards
+	if len(s.meshCellRows) < len(shards) {
+		s.meshCellRows = make([][]int64, len(shards))
+		for i := range s.meshCellRows {
+			s.meshCellRows[i] = make([]int64, e.grid.NumBoxes())
 		}
-		for i, c := range st.meshCounts {
-			if c != 0 {
-				ms.counts[i] += c
-				s.meshScratch[s.cellBox[i]]++
+	}
+	// Canonical merge, parallel across disjoint cell ranges: each cell is
+	// summed over shards in fixed shard order and written by exactly one
+	// chunk (wrapping adds — order-independent anyway). Folded shards may
+	// have no mesh buffer yet.
+	parallelChunks(len(ms.counts), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var c int64
+			for _, st := range shards {
+				if len(st.meshCounts) == 0 {
+					continue
+				}
+				c += st.meshCounts[i]
+			}
+			ms.counts[i] = c
+		}
+	})
+	// Traffic measurement, parallel across shards: each shard's
+	// per-destination row is written by exactly one chunk.
+	parallelChunks(len(shards), workers, func(_, lo, hi int) {
+		for si := lo; si < hi; si++ {
+			row := s.meshCellRows[si]
+			for b := range row {
+				row[b] = 0
+			}
+			for i, c := range shards[si].meshCounts {
+				if c != 0 {
+					row[s.cellBox[i]]++
+				}
 			}
 		}
-		for dst, cells := range s.meshScratch {
+	})
+	// The measured-comm notes land serially in ascending (shard, dst)
+	// order, keeping the traffic ledger deterministic.
+	var meshMsgs int64
+	for si, st := range shards {
+		for dst, cells := range s.meshCellRows[si] {
 			if cells > 0 && int32(dst) != st.id {
 				s.comm.noteMesh(int(st.id), dst, int(cells))
 				meshMsgs++

@@ -34,6 +34,13 @@ type GSE struct {
 	sigma1     float64   // sigma/sqrt(2): per-stage Gaussian width
 	green      []float64 // precomputed Green's function on the k-mesh
 	mesh       *fft.Grid3
+
+	// Pooled per-axis phase scratch for the spread/interpolate loops:
+	// wrapped mesh indices and minimum-image displacements along each
+	// axis, computed once per atom instead of once per mesh point. Sized
+	// on first use and reused by every subsequent call.
+	axI [3][]int32
+	axD [3][]float64
 }
 
 // NewGSE builds a GSE solver for the given box. The spreading radius
@@ -110,14 +117,30 @@ func (g *GSE) SpreadWeight(d2 float64) float64 {
 // within RSpread of the atom.
 func (g *GSE) Spread(atoms []ff.Atom, r []vec.V3) {
 	g.mesh.Zero()
+	rc2 := g.RSpread * g.RSpread
 	for i := range atoms {
 		q := atoms[i].Charge
 		if q == 0 {
 			continue
 		}
-		g.forEachMeshPoint(r[i], func(idx int, d2 float64) {
-			g.mesh.Data[idx] += complex(q*g.SpreadWeight(d2), 0)
-		})
+		ni, nj, nk := g.fillAxisTables(r[i])
+		for kk := 0; kk < nk; kk++ {
+			dz := g.axD[2][kk]
+			planeBase := int(g.axI[2][kk]) * g.Ny
+			for jj := 0; jj < nj; jj++ {
+				dy := g.axD[1][jj]
+				dyz2 := dy*dy + dz*dz
+				rowBase := (planeBase + int(g.axI[1][jj])) * g.Nx
+				for ii := 0; ii < ni; ii++ {
+					dx := g.axD[0][ii]
+					d2 := dx*dx + dyz2
+					if d2 > rc2 {
+						continue
+					}
+					g.mesh.Data[rowBase+int(g.axI[0][ii])] += complex(q*g.SpreadWeight(d2), 0)
+				}
+			}
+		}
 	}
 }
 
@@ -141,6 +164,7 @@ func (g *GSE) Convolve() {
 func (g *GSE) EnergyAndForces(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
 	h3 := g.hx * g.hy * g.hz
 	invS2 := 1 / (g.sigma1 * g.sigma1)
+	rc2 := g.RSpread * g.RSpread
 	energy := 0.0
 	for i := range atoms {
 		q := atoms[i].Charge
@@ -149,16 +173,31 @@ func (g *GSE) EnergyAndForces(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
 		}
 		var e float64
 		var fx, fy, fz float64
-		g.forEachMeshPointD(r[i], func(idx int, d2 float64, d vec.V3) {
-			phi := real(g.mesh.Data[idx])
-			w := g.SpreadWeight(d2)
-			e += phi * w
-			// d = r_m - r_i (minimum image); F_i += q h3 phi w d/sigma1^2
-			s := phi * w * invS2
-			fx += s * d.X
-			fy += s * d.Y
-			fz += s * d.Z
-		})
+		ni, nj, nk := g.fillAxisTables(r[i])
+		for kk := 0; kk < nk; kk++ {
+			dz := g.axD[2][kk]
+			planeBase := int(g.axI[2][kk]) * g.Ny
+			for jj := 0; jj < nj; jj++ {
+				dy := g.axD[1][jj]
+				dyz2 := dy*dy + dz*dz
+				rowBase := (planeBase + int(g.axI[1][jj])) * g.Nx
+				for ii := 0; ii < ni; ii++ {
+					dx := g.axD[0][ii]
+					d2 := dx*dx + dyz2
+					if d2 > rc2 {
+						continue
+					}
+					phi := real(g.mesh.Data[rowBase+int(g.axI[0][ii])])
+					w := g.SpreadWeight(d2)
+					e += phi * w
+					// d = r_m - r_i (minimum image); F_i += q h3 phi w d/sigma1^2
+					s := phi * w * invS2
+					fx += s * dx
+					fy += s * dy
+					fz += s * dz
+				}
+			}
+		}
 		energy += 0.5 * q * h3 * e
 		if f != nil {
 			f[i] = f[i].Add(vec.V3{X: fx, Y: fy, Z: fz}.Scale(-q * h3))
@@ -176,43 +215,35 @@ func (g *GSE) LongRange(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
 	return g.EnergyAndForces(atoms, r, f)
 }
 
-// forEachMeshPoint visits every mesh point within RSpread of position p,
-// passing the linear mesh index and squared minimum-image distance.
-func (g *GSE) forEachMeshPoint(p vec.V3, fn func(idx int, d2 float64)) {
-	g.forEachMeshPointD(p, func(idx int, d2 float64, _ vec.V3) { fn(idx, d2) })
+// fillAxisTables computes the wrapped mesh indices and minimum-image
+// displacements of the mesh points within RSpread of p along each axis
+// (mesh point m has coordinates (i*hx, j*hy, k*hz)), storing them in the
+// pooled axis scratch and returning the per-axis point counts. Hoisting
+// the wrap and displacement math out of the triple loop turns the O(m^3)
+// inner work into pure table reads.
+func (g *GSE) fillAxisTables(p vec.V3) (ni, nj, nk int) {
+	ni = g.fillAxis(0, p.X, g.hx, g.box.L.X, g.Nx)
+	nj = g.fillAxis(1, p.Y, g.hy, g.box.L.Y, g.Ny)
+	nk = g.fillAxis(2, p.Z, g.hz, g.box.L.Z, g.Nz)
+	return ni, nj, nk
 }
 
-// forEachMeshPointD additionally passes the displacement d = r_m - p
-// (minimum image).
-func (g *GSE) forEachMeshPointD(p vec.V3, fn func(idx int, d2 float64, d vec.V3)) {
-	rc2 := g.RSpread * g.RSpread
-	// Mesh point m has coordinates (i*hx, j*hy, k*hz).
-	i0 := int(math.Floor((p.X - g.RSpread) / g.hx))
-	i1 := int(math.Ceil((p.X + g.RSpread) / g.hx))
-	j0 := int(math.Floor((p.Y - g.RSpread) / g.hy))
-	j1 := int(math.Ceil((p.Y + g.RSpread) / g.hy))
-	k0 := int(math.Floor((p.Z - g.RSpread) / g.hz))
-	k1 := int(math.Ceil((p.Z + g.RSpread) / g.hz))
-	for k := k0; k <= k1; k++ {
-		dz := float64(k)*g.hz - p.Z
-		dz -= g.box.L.Z * math.Round(dz/g.box.L.Z)
-		kw := mod(k, g.Nz)
-		for j := j0; j <= j1; j++ {
-			dy := float64(j)*g.hy - p.Y
-			dy -= g.box.L.Y * math.Round(dy/g.box.L.Y)
-			jw := mod(j, g.Ny)
-			rowBase := (kw*g.Ny + jw) * g.Nx
-			for i := i0; i <= i1; i++ {
-				dx := float64(i)*g.hx - p.X
-				dx -= g.box.L.X * math.Round(dx/g.box.L.X)
-				d2 := dx*dx + dy*dy + dz*dz
-				if d2 > rc2 {
-					continue
-				}
-				fn(rowBase+mod(i, g.Nx), d2, vec.V3{X: dx, Y: dy, Z: dz})
-			}
-		}
+func (g *GSE) fillAxis(ax int, p, h, l float64, n int) int {
+	c0 := int(math.Floor((p - g.RSpread) / h))
+	c1 := int(math.Ceil((p + g.RSpread) / h))
+	span := c1 - c0 + 1
+	if cap(g.axI[ax]) < span {
+		g.axI[ax] = make([]int32, span)
+		g.axD[ax] = make([]float64, span)
 	}
+	idx, d := g.axI[ax][:span], g.axD[ax][:span]
+	for c := c0; c <= c1; c++ {
+		dc := float64(c)*h - p
+		dc -= l * math.Round(dc/l)
+		idx[c-c0] = int32(mod(c, n))
+		d[c-c0] = dc
+	}
+	return span
 }
 
 func mod(a, n int) int {

@@ -23,6 +23,20 @@ type SPME struct {
 	box  vec.Box
 	mesh *fft.Grid3
 	w    []float64 // influence function W(k), includes |b|^2 and Green factors
+
+	// spls is the pooled per-atom spline scratch, cached between the
+	// spread and force passes of one LongRange call and reused across
+	// calls (grown once to the atom count; fixed-size weight arrays keep
+	// the pool allocation-free at any supported order).
+	spls []spmeSpline
+}
+
+// spmeSpline caches one atom's B-spline weights and derivatives. The
+// arrays are sized for the maximum supported order (8).
+type spmeSpline struct {
+	j0x, j0y, j0z int
+	wx, wy, wz    [8]float64
+	dx, dy, dz    [8]float64
 }
 
 // NewSPME constructs an SPME solver.
@@ -132,13 +146,12 @@ func splineWeights(p int, u float64, w, dw []float64) int {
 func (p *SPME) LongRange(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
 	n := len(atoms)
 	ord := p.Order
-	// Per-atom spline data, cached between the spread and force passes.
-	type spl struct {
-		j0x, j0y, j0z int
-		wx, wy, wz    []float64
-		dx, dy, dz    []float64
+	// Per-atom spline data, cached between the spread and force passes
+	// (pooled on the solver; reused across calls).
+	if cap(p.spls) < n {
+		p.spls = make([]spmeSpline, n)
 	}
-	spls := make([]spl, n)
+	spls := p.spls[:n]
 	p.mesh.Zero()
 	for i := 0; i < n; i++ {
 		if atoms[i].Charge == 0 {
@@ -149,11 +162,9 @@ func (p *SPME) LongRange(atoms []ff.Atom, r []vec.V3, f []vec.V3) float64 {
 		uy := fr.Y * float64(p.Ny)
 		uz := fr.Z * float64(p.Nz)
 		s := &spls[i]
-		s.wx, s.wy, s.wz = make([]float64, ord), make([]float64, ord), make([]float64, ord)
-		s.dx, s.dy, s.dz = make([]float64, ord), make([]float64, ord), make([]float64, ord)
-		s.j0x = splineWeights(ord, ux, s.wx, s.dx)
-		s.j0y = splineWeights(ord, uy, s.wy, s.dy)
-		s.j0z = splineWeights(ord, uz, s.wz, s.dz)
+		s.j0x = splineWeights(ord, ux, s.wx[:ord], s.dx[:ord])
+		s.j0y = splineWeights(ord, uy, s.wy[:ord], s.dy[:ord])
+		s.j0z = splineWeights(ord, uz, s.wz[:ord], s.dz[:ord])
 		q := atoms[i].Charge
 		for tz := 0; tz < ord; tz++ {
 			kz := mod(s.j0z+tz, p.Nz)

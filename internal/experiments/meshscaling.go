@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"anton/internal/core"
+	"anton/internal/fixp"
+	"anton/internal/obs"
+	"anton/internal/system"
+)
+
+// MeshScalingRow is one configuration's measurements in the mesh
+// strong-scaling experiment: an engine stepped with the long-range mesh
+// refreshed every step, at a given GOMAXPROCS, worker count and shard
+// count. Shards == 0 denotes the monolithic engine.
+type MeshScalingRow struct {
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards"` // 0 = monolithic engine
+	WallMs       float64 `json:"wall_ms"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	Speedup      float64 `json:"speedup"`       // vs the gomaxprocs=1 monolithic row
+	BitwiseMatch bool    `json:"bitwise_match"` // trajectory identical to the reference
+
+	// Mesh-phase split per long-range refresh, from the attached recorder.
+	SpreadMsPerEval float64 `json:"mesh_spread_ms_per_eval"`
+	FFTMsPerEval    float64 `json:"fft_ms_per_eval"`
+	InterpMsPerEval float64 `json:"mesh_interp_ms_per_eval"`
+}
+
+// MeshScalingData is the structured record of the mesh strong-scaling
+// experiment (the BENCH_meshscaling.json artifact): steps/sec of the
+// allocation-free mesh/FFT hot path across GOMAXPROCS and shard counts at
+// DHFR scale, with the mesh refreshed on every step so the long-range
+// path dominates, plus the bitwise-invariance column that makes the
+// speedups meaningful (same trajectory, faster).
+type MeshScalingData struct {
+	Schema   string           `json:"schema"`
+	System   string           `json:"system"`
+	Atoms    int              `json:"atoms"`
+	Mesh     int              `json:"mesh"`
+	Steps    int              `json:"steps"`
+	HostCPUs int              `json:"host_cpus"`
+	Note     string           `json:"note"`
+	Rows     []MeshScalingRow `json:"rows"`
+}
+
+// MeshScaling runs the mesh strong-scaling experiment and renders the
+// plain-text report.
+func MeshScaling(steps int) (string, error) {
+	d, err := meshScalingData(steps)
+	if err != nil {
+		return "", err
+	}
+	return renderMeshScaling(d), nil
+}
+
+// MeshScalingJSON runs the mesh strong-scaling experiment and returns the
+// structured record as indented JSON — the generator of the committed
+// BENCH_meshscaling.json artifact (make scaling).
+func MeshScalingJSON(steps int) ([]byte, error) {
+	d, err := meshScalingData(steps)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// meshScalingConfig forces the long-range mesh path on every step so the
+// experiment measures the spread/FFT/interpolate pipeline, not the pair
+// kernel's amortization of it.
+func meshScalingConfig(nodes, workers int) core.Config {
+	cfg := core.DefaultConfig(nodes)
+	cfg.MTSInterval = 1
+	cfg.Workers = workers
+	return cfg
+}
+
+func meshScalingData(steps int) (*MeshScalingData, error) {
+	s, err := system.ByName("DHFR")
+	if err != nil {
+		return nil, err
+	}
+	cpus := runtime.NumCPU()
+	d := &MeshScalingData{
+		Schema:   obs.SchemaVersion,
+		System:   s.Name,
+		Atoms:    s.NAtoms(),
+		Mesh:     s.Mesh,
+		Steps:    steps,
+		HostCPUs: cpus,
+		Note: "strong scaling of the mesh/FFT hot path; speedup > 1 requires " +
+			"more than one host CPU — on a single-CPU host every row measures " +
+			"the same serial work plus scheduling overhead, and the " +
+			"bitwise_match column is the result that must hold everywhere",
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	// gomaxprocs=1 monolithic single-worker run: the speedup baseline and
+	// the bitwise reference.
+	var refP []fixp.Vec3
+	var refV []core.Vel3
+	var baseWall time.Duration
+	gmps := []int{}
+	for g := 1; g <= cpus; g *= 2 {
+		gmps = append(gmps, g)
+	}
+	for _, gmp := range gmps {
+		runtime.GOMAXPROCS(gmp)
+		for _, shards := range []int{0, 1, 8} {
+			row, p, v, err := meshScalingRun(steps, gmp, shards)
+			if err != nil {
+				return nil, err
+			}
+			if refP == nil {
+				refP, refV = p, v
+				baseWall = time.Duration(row.WallMs * 1e6)
+			}
+			row.BitwiseMatch = bitwiseState(p, v, refP, refV)
+			row.Speedup = baseWall.Seconds() / (row.WallMs / 1e3)
+			d.Rows = append(d.Rows, *row)
+		}
+	}
+	return d, nil
+}
+
+// meshScalingRun steps one configuration and returns its row and final
+// state. Shards == 0 runs the monolithic engine; otherwise the sharded
+// pipeline with that many virtual nodes.
+func meshScalingRun(steps, gmp, shards int) (*MeshScalingRow, []fixp.Vec3, []core.Vel3, error) {
+	s, err := system.ByName("DHFR")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	workers := gmp
+	rec := obs.NewRecorder()
+	var stepFn func(int)
+	var snapFn func() ([]fixp.Vec3, []core.Vel3)
+	if shards == 0 {
+		e, err := core.NewEngine(s, meshScalingConfig(512, workers))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+		e.Observe(rec)
+		stepFn, snapFn = e.Step, e.Snapshot
+	} else {
+		sh, err := core.NewSharded(s, meshScalingConfig(shards, workers))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer sh.Close()
+		rng := rand.New(rand.NewSource(7))
+		sh.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+		sh.Observe(rec)
+		stepFn, snapFn = sh.Step, sh.Snapshot
+	}
+
+	start := time.Now()
+	stepFn(steps)
+	wall := time.Since(start)
+	p, v := snapFn()
+	mp := rec.Snapshot().MeshPath
+
+	return &MeshScalingRow{
+		GoMaxProcs:      gmp,
+		Workers:         workers,
+		Shards:          shards,
+		WallMs:          float64(wall.Nanoseconds()) / 1e6,
+		StepsPerSec:     float64(steps) / wall.Seconds(),
+		SpreadMsPerEval: mp.SpreadMsPerEval,
+		FFTMsPerEval:    mp.FFTMsPerEval,
+		InterpMsPerEval: mp.InterpMsPerEval,
+	}, p, v, nil
+}
+
+func bitwiseState(p []fixp.Vec3, v []core.Vel3, refP []fixp.Vec3, refV []core.Vel3) bool {
+	for i := range refP {
+		if p[i] != refP[i] || v[i] != refV[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderMeshScaling formats the structured record as the experiment's
+// plain-text report.
+func renderMeshScaling(d *MeshScalingData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mesh/FFT strong scaling (%s, %d atoms, %d^3 mesh, %d steps, long range every step):\n",
+		d.System, d.Atoms, d.Mesh, d.Steps)
+	fmt.Fprintf(&b, "%5s %8s %7s %9s %9s %8s %9s %8s %9s  %s\n",
+		"gmp", "workers", "shards", "steps/s", "wall ms", "speedup",
+		"spread", "fft", "interp", "bitwise")
+	for _, r := range d.Rows {
+		match := "match"
+		if !r.BitwiseMatch {
+			match = "DIVERGED"
+		}
+		engine := fmt.Sprintf("%d", r.Shards)
+		if r.Shards == 0 {
+			engine = "mono"
+		}
+		fmt.Fprintf(&b, "%5d %8d %7s %9.3f %9.0f %8.2f %8.1fms %7.1fms %8.1fms  %s\n",
+			r.GoMaxProcs, r.Workers, engine, r.StepsPerSec, r.WallMs, r.Speedup,
+			r.SpreadMsPerEval, r.FFTMsPerEval, r.InterpMsPerEval, match)
+	}
+	fmt.Fprintf(&b, "(host has %d CPUs; %s)\n", d.HostCPUs, d.Note)
+	return b.String()
+}

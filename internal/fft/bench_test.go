@@ -1,0 +1,63 @@
+package fft
+
+import "testing"
+
+// The mesh-path benchmarks below all ReportAllocs: the steady-state
+// transform path (serial, parallel, and distributed) must make zero heap
+// allocations per operation — plans, tiles and line scratch are built once
+// and reused.
+
+func benchGrid(n int) *Grid3 {
+	g := NewGrid3(n, n, n)
+	x := randSignal(n*n*n, int64(n))
+	copy(g.Data, x)
+	return g
+}
+
+// BenchmarkFFT3D measures a serial forward+inverse 32^3 transform — the
+// convolution core of one long-range refresh at the paper's mesh size.
+func BenchmarkFFT3D(b *testing.B) {
+	g := benchGrid(32)
+	g.Forward3() // warm the plan and tile scratch
+	g.Inverse3()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward3()
+		g.Inverse3()
+	}
+}
+
+// BenchmarkFFT3DParallel measures the multicore transform at 4 workers.
+func BenchmarkFFT3DParallel(b *testing.B) {
+	g := benchGrid(32)
+	g.ForwardP(4)
+	g.InverseP(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ForwardP(4)
+		g.InverseP(4)
+	}
+}
+
+// BenchmarkDistFFT measures the distributed-FFT model (32^3 mesh on a
+// 4x4x4 node grid) round trip, exercising the reusable line scratch of
+// every exchange.
+func BenchmarkDistFFT(b *testing.B) {
+	d, err := NewDist3(32, 32, 32, 4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Scatter(benchGrid(32)); err != nil {
+		b.Fatal(err)
+	}
+	d.Forward3()
+	d.Inverse3()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward3()
+		d.Inverse3()
+	}
+}

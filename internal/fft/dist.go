@@ -40,6 +40,14 @@ type Dist3 struct {
 	// stored row-major with x fastest within the brick.
 	bricks [][]complex128
 
+	// Reusable per-row line scratch (headers + backing store) and the
+	// per-axis transform plans: every exchange of every pass reuses them,
+	// so steady-state transforms allocate nothing.
+	lineHdrs []([]complex128)
+	lineBuf  []complex128
+	plans    [3]*Plan
+	rows     [3][][]int // torus rows per axis, precomputed
+
 	Stats CommStats // accumulated across all transforms since creation
 }
 
@@ -69,6 +77,21 @@ func NewDist3(nx, ny, nz, gx, gy, gz int) (*Dist3, error) {
 	for i := range d.bricks {
 		d.bricks[i] = make([]complex128, vol)
 	}
+	// Size the row scratch for the largest axis pass: bu*bv lines of n
+	// points each (see passAxis).
+	maxLines, maxPts := 0, 0
+	for _, ax := range [3][2]int{{d.By * d.Bz, nx}, {d.Bx * d.Bz, ny}, {d.Bx * d.By, nz}} {
+		if ax[0] > maxLines {
+			maxLines = ax[0]
+		}
+		if ax[0]*ax[1] > maxPts {
+			maxPts = ax[0] * ax[1]
+		}
+	}
+	d.lineHdrs = make([][]complex128, maxLines)
+	d.lineBuf = make([]complex128, maxPts)
+	d.plans = [3]*Plan{PlanFor(nx), PlanFor(ny), PlanFor(nz)}
+	d.rows = [3][][]int{d.rowSets(0), d.rowSets(1), d.rowSets(2)}
 	return d, nil
 }
 
@@ -158,15 +181,16 @@ func (d *Dist3) passAxis(axis int, inverse bool) {
 	default:
 		g, n, bu, bv = d.Gz, d.Nz, d.Bx, d.By
 	}
-	rows := d.rowSets(axis)
+	plan := d.plans[axis]
+	rows := d.rows[axis]
 	var msgs, bytes int // per-node counters (all nodes symmetric; count one row node)
+	// The bu*bv row lines of n points each live in the reusable scratch;
+	// every row of every pass overwrites them in full before transforming.
+	lines := d.lineHdrs[:bu*bv]
+	for l := range lines {
+		lines[l] = d.lineBuf[l*n : (l+1)*n]
+	}
 	for _, row := range rows {
-		// Collect the bu*bv lines of this row. line[l] has n points, built
-		// from the g bricks in the row.
-		lines := make([][]complex128, bu*bv)
-		for l := range lines {
-			lines[l] = make([]complex128, n)
-		}
 		for seg, node := range row {
 			brick := d.bricks[node]
 			for l := 0; l < bu*bv; l++ {
@@ -179,7 +203,7 @@ func (d *Dist3) passAxis(axis int, inverse bool) {
 		// Transform. Line l is owned by row node l % g; every segment of l
 		// held by a different node is one message there and one back.
 		for l := range lines {
-			transform(lines[l], inverse)
+			plan.Transform(lines[l], inverse)
 		}
 		// Scatter the transformed lines back into bricks.
 		for seg, node := range row {

@@ -6,6 +6,11 @@
 // which decomposes the 3D transform into sets of 1D line FFTs along each
 // axis and exchanges data over the torus, counting the many small messages
 // that this strategy sends.
+//
+// All transforms run through reusable Plan objects holding precomputed
+// twiddle and bit-reverse tables, so the steady-state transform path makes
+// no heap allocations and is safe for concurrent use from any number of
+// goroutines (plans are immutable once built).
 package fft
 
 import (
@@ -13,67 +18,90 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync/atomic"
 )
 
-// twiddleCache caches the roots of unity for each transform size, keyed by
-// log2(n). Index tables are cheap to recompute; twiddles dominate setup.
-var twiddleCache = map[uint][]complex128{}
+// Plan holds the precomputed tables for transforms of one power-of-two
+// length: the forward twiddle factors exp(-2*pi*i*k/n), their conjugates
+// for the inverse transform, and the bit-reverse permutation. A Plan is
+// immutable after construction; any number of goroutines may transform
+// through the same Plan concurrently.
+type Plan struct {
+	n    int
+	w    []complex128 // forward twiddles, n/2
+	winv []complex128 // conjugate twiddles (inverse transform), n/2
+	rev  []int32      // bit-reverse permutation
+}
 
-// twiddles returns the first n/2 forward twiddle factors exp(-2*pi*i*k/n).
-func twiddles(n int) []complex128 {
-	lg := uint(bits.TrailingZeros(uint(n)))
-	if w, ok := twiddleCache[lg]; ok {
-		return w
+// NewPlan builds the transform tables for length n (a power of two).
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: plan length %d is not a power of two", n))
 	}
-	w := make([]complex128, n/2)
-	for k := range w {
+	p := &Plan{
+		n:    n,
+		w:    make([]complex128, n/2),
+		winv: make([]complex128, n/2),
+		rev:  make([]int32, n),
+	}
+	for k := range p.w {
 		ang := -2 * math.Pi * float64(k) / float64(n)
-		w[k] = cmplx.Exp(complex(0, ang))
+		p.w[k] = cmplx.Exp(complex(0, ang))
+		p.winv[k] = cmplx.Conj(p.w[k])
 	}
-	twiddleCache[lg] = w
-	return w
+	if n > 1 {
+		shift := 64 - uint(bits.TrailingZeros(uint(n)))
+		for i := 0; i < n; i++ {
+			p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	return p
 }
 
-// IsPow2 reports whether n is a positive power of two.
-func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+// Len returns the transform length the plan was built for.
+func (p *Plan) Len() int { return p.n }
 
-// Forward computes the in-place forward DFT of x. len(x) must be a power
-// of two. The transform is unnormalized: Forward followed by Inverse
-// returns the original values.
-func Forward(x []complex128) {
-	transform(x, false)
-}
+// Forward computes the in-place forward DFT of x, which must have the
+// plan's length. The transform is unnormalized: Forward followed by
+// Inverse returns the original values.
+func (p *Plan) Forward(x []complex128) { p.Transform(x, false) }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
-// normalization. len(x) must be a power of two.
-func Inverse(x []complex128) {
-	transform(x, true)
-	scale := complex(1/float64(len(x)), 0)
+// normalization.
+func (p *Plan) Inverse(x []complex128) {
+	p.Transform(x, true)
+	scale := complex(1/float64(p.n), 0)
 	for i := range x {
 		x[i] *= scale
 	}
 }
 
-// transform is an iterative decimation-in-time radix-2 FFT.
-func transform(x []complex128, inverse bool) {
-	n := len(x)
+// Transform is the iterative decimation-in-time radix-2 FFT over the
+// plan's tables (unnormalized in both directions).
+func (p *Plan) Transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
 	if n <= 1 {
 		return
 	}
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	rev := p.rev
+	for i := 0; i < n; i++ {
+		if j := int(rev[i]); j > i {
+			x[i], x[j] = x[j], x[i]
+		}
 	}
-	bitReverse(x)
-	w := twiddles(n)
+	w := p.w
+	if inverse {
+		w = p.winv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
 		step := n / size // stride into the twiddle table
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
 				tw := w[k*step]
-				if inverse {
-					tw = cmplx.Conj(tw)
-				}
 				a := x[start+k]
 				b := x[start+k+half] * tw
 				x[start+k] = a + b
@@ -83,16 +111,52 @@ func transform(x []complex128, inverse bool) {
 	}
 }
 
-// bitReverse permutes x into bit-reversed order.
-func bitReverse(x []complex128) {
-	n := len(x)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
+// maxPlanLg bounds the shared plan cache: lengths up to 2^maxPlanLg are
+// cached (far beyond any mesh this engine builds).
+const maxPlanLg = 30
+
+// planCache is the process-wide immutable plan cache, indexed by log2(n).
+// Entries are published with atomic pointers: concurrent first use from
+// many goroutines (e.g. shard engines solving meshes in parallel) races
+// only on who builds the identical plan first — the loser's copy is
+// dropped, and every reader sees a fully built table. This replaces the
+// old unsynchronized map, which was a data race under concurrent shard
+// mesh solves.
+var planCache [maxPlanLg + 1]atomic.Pointer[Plan]
+
+// PlanFor returns the shared plan for length n (a power of two), building
+// and caching it on first use. The returned plan is immutable and safe
+// for concurrent use.
+func PlanFor(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
 	}
+	lg := uint(bits.TrailingZeros(uint(n)))
+	if lg > maxPlanLg {
+		return NewPlan(n) // uncached: absurdly large, don't pin the memory
+	}
+	if p := planCache[lg].Load(); p != nil {
+		return p
+	}
+	p := NewPlan(n)
+	planCache[lg].CompareAndSwap(nil, p)
+	return planCache[lg].Load()
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Forward computes the in-place forward DFT of x through the shared plan
+// cache. len(x) must be a power of two. The transform is unnormalized:
+// Forward followed by Inverse returns the original values.
+func Forward(x []complex128) {
+	PlanFor(len(x)).Forward(x)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization. len(x) must be a power of two.
+func Inverse(x []complex128) {
+	PlanFor(len(x)).Inverse(x)
 }
 
 // DFT computes the discrete Fourier transform by the O(n^2) definition.

@@ -1,13 +1,22 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Grid3 is a dense 3D complex mesh with power-of-two dimensions, stored in
 // row-major order with x fastest: index = (k*Ny + j)*Nx + i. It is the
 // serial counterpart of Anton's distributed charge mesh.
+//
+// Transforms run through a lazily attached per-grid plan: shared immutable
+// twiddle/bit-reverse tables (PlanFor) plus grid-owned line scratch, so
+// repeated transforms allocate nothing.
 type Grid3 struct {
 	Nx, Ny, Nz int
 	Data       []complex128
+
+	p3 *grid3Plan // lazily built; owns the gather/scatter scratch
 }
 
 // NewGrid3 allocates an Nx x Ny x Nz mesh. All dimensions must be powers
@@ -28,7 +37,8 @@ func (g *Grid3) At(i, j, k int) complex128 { return g.Data[g.Index(i, j, k)] }
 // Set stores v at (i, j, k).
 func (g *Grid3) Set(i, j, k int, v complex128) { g.Data[g.Index(i, j, k)] = v }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g (scratch plans are not copied; the clone
+// builds its own on first transform).
 func (g *Grid3) Clone() *Grid3 {
 	c := NewGrid3(g.Nx, g.Ny, g.Nz)
 	copy(c.Data, g.Data)
@@ -45,57 +55,156 @@ func (g *Grid3) Zero() {
 // Forward3 performs the unnormalized forward 3D FFT in place, as three
 // passes of 1D line transforms (x, then y, then z) — the same axis-by-axis
 // decomposition Anton's distributed implementation uses.
-func (g *Grid3) Forward3() { g.transform3(false) }
+func (g *Grid3) Forward3() { g.transform3(false, 1) }
 
 // Inverse3 performs the inverse 3D FFT in place, including the 1/(Nx*Ny*Nz)
 // normalization.
 func (g *Grid3) Inverse3() {
-	g.transform3(true)
+	g.transform3(true, 1)
+	g.scaleInverse()
+}
+
+func (g *Grid3) scaleInverse() {
 	scale := complex(1/float64(g.Nx*g.Ny*g.Nz), 0)
 	for i := range g.Data {
 		g.Data[i] *= scale
 	}
 }
 
-func (g *Grid3) transform3(inverse bool) {
-	// X lines: contiguous.
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
-			base := g.Index(0, j, k)
-			line := g.Data[base : base+g.Nx]
-			transform(line, inverse)
+// tileB is the number of strided lines gathered together in the y and z
+// passes. Gathering a tile of adjacent-x lines turns the stride-Nx (and
+// stride-Nx*Ny) single-element accesses of a line-at-a-time traversal into
+// tileB-element contiguous runs — one or two cache lines per touch —
+// which is what makes the strided passes cache-resident.
+const tileB = 8
+
+// grid3Plan owns a grid's transform state: the per-axis shared plans and
+// the per-worker tile scratch. Tile buffers grow once per worker count
+// and are reused by every subsequent transform.
+type grid3Plan struct {
+	px, py, pz *Plan
+	maxN       int            // max(Ny, Nz): tile line capacity
+	tiles      [][]complex128 // per-worker gather/scatter tiles, tileB*maxN each
+
+	// Staged axis pass (set by transform3, read by worker goroutines).
+	g       *Grid3
+	axis    uint8
+	inverse bool
+	nTilesX int
+	wg      sync.WaitGroup
+}
+
+// plan returns the grid's transform plan, building it on first use.
+func (g *Grid3) plan() *grid3Plan {
+	if g.p3 == nil {
+		maxN := g.Ny
+		if g.Nz > maxN {
+			maxN = g.Nz
+		}
+		g.p3 = &grid3Plan{
+			px:   PlanFor(g.Nx),
+			py:   PlanFor(g.Ny),
+			pz:   PlanFor(g.Nz),
+			maxN: maxN,
 		}
 	}
-	// Y lines: stride Nx.
-	buf := make([]complex128, maxInt(g.Ny, g.Nz))
-	for k := 0; k < g.Nz; k++ {
-		for i := 0; i < g.Nx; i++ {
-			for j := 0; j < g.Ny; j++ {
-				buf[j] = g.At(i, j, k)
-			}
-			transform(buf[:g.Ny], inverse)
-			for j := 0; j < g.Ny; j++ {
-				g.Set(i, j, k, buf[j])
-			}
-		}
-	}
-	// Z lines: stride Nx*Ny.
-	for j := 0; j < g.Ny; j++ {
-		for i := 0; i < g.Nx; i++ {
-			for k := 0; k < g.Nz; k++ {
-				buf[k] = g.At(i, j, k)
-			}
-			transform(buf[:g.Nz], inverse)
-			for k := 0; k < g.Nz; k++ {
-				g.Set(i, j, k, buf[k])
-			}
-		}
+	return g.p3
+}
+
+// ensureTiles sizes the per-worker tile scratch.
+func (p *grid3Plan) ensureTiles(workers int) {
+	for len(p.tiles) < workers {
+		p.tiles = append(p.tiles, make([]complex128, tileB*p.maxN))
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// axis identifiers for the staged pass.
+const (
+	axisX uint8 = iota
+	axisY
+	axisZ
+)
+
+// unitCount returns the number of independent work units for an axis pass:
+// single lines for x (contiguous in memory), tiles of up to tileB adjacent
+// lines for y and z.
+func (p *grid3Plan) unitCount(axis uint8) int {
+	g := p.g
+	switch axis {
+	case axisX:
+		return g.Ny * g.Nz
+	case axisY:
+		return g.Nz * p.nTilesX
+	default:
+		return g.Ny * p.nTilesX
 	}
-	return b
+}
+
+// runUnits transforms units [lo, hi) of the staged axis pass using worker
+// w's tile scratch. Every unit is an independent set of complete 1D lines
+// transformed by the same plan kernel, so the result is bitwise identical
+// for any worker count and any unit-to-worker assignment.
+func (p *grid3Plan) runUnits(w, lo, hi int) {
+	g := p.g
+	data := g.Data
+	switch p.axis {
+	case axisX:
+		for l := lo; l < hi; l++ {
+			j, k := l%g.Ny, l/g.Ny
+			base := (k*g.Ny + j) * g.Nx
+			p.px.Transform(data[base:base+g.Nx], p.inverse)
+		}
+	case axisY:
+		tile := p.tiles[w]
+		ny, nx := g.Ny, g.Nx
+		for u := lo; u < hi; u++ {
+			k, tx := u/p.nTilesX, u%p.nTilesX
+			i0 := tx * tileB
+			ib := nx - i0
+			if ib > tileB {
+				ib = tileB
+			}
+			for j := 0; j < ny; j++ {
+				base := (k*ny+j)*nx + i0
+				for t := 0; t < ib; t++ {
+					tile[t*ny+j] = data[base+t]
+				}
+			}
+			for t := 0; t < ib; t++ {
+				p.py.Transform(tile[t*ny:(t+1)*ny], p.inverse)
+			}
+			for j := 0; j < ny; j++ {
+				base := (k*ny+j)*nx + i0
+				for t := 0; t < ib; t++ {
+					data[base+t] = tile[t*ny+j]
+				}
+			}
+		}
+	default: // axisZ
+		tile := p.tiles[w]
+		ny, nx, nz := g.Ny, g.Nx, g.Nz
+		for u := lo; u < hi; u++ {
+			j, tx := u/p.nTilesX, u%p.nTilesX
+			i0 := tx * tileB
+			ib := nx - i0
+			if ib > tileB {
+				ib = tileB
+			}
+			for k := 0; k < nz; k++ {
+				base := (k*ny+j)*nx + i0
+				for t := 0; t < ib; t++ {
+					tile[t*nz+k] = data[base+t]
+				}
+			}
+			for t := 0; t < ib; t++ {
+				p.pz.Transform(tile[t*nz:(t+1)*nz], p.inverse)
+			}
+			for k := 0; k < nz; k++ {
+				base := (k*ny+j)*nx + i0
+				for t := 0; t < ib; t++ {
+					data[base+t] = tile[t*nz+k]
+				}
+			}
+		}
+	}
 }

@@ -1,29 +1,23 @@
 package fft
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // ForwardP and InverseP are multicore variants of the serial 3D
 // transforms: the line FFTs of each axis pass are independent and split
-// across goroutines. Results are bitwise identical to the serial path —
-// each line is transformed by the same kernel; only the scheduling
-// differs — so the parallel transform preserves the engine's determinism
-// properties.
+// across goroutines in deterministic contiguous chunks. Results are
+// bitwise identical to the serial path — each line is transformed by the
+// same plan kernel; only the scheduling differs — so the parallel
+// transform preserves the engine's determinism properties.
 
 // ForwardP performs the unnormalized forward 3D FFT with up to `workers`
 // goroutines (0 = GOMAXPROCS).
-func (g *Grid3) ForwardP(workers int) { g.transform3P(false, workers) }
+func (g *Grid3) ForwardP(workers int) { g.transform3(false, clampWorkers(workers)) }
 
 // InverseP performs the normalized inverse 3D FFT with up to `workers`
 // goroutines.
 func (g *Grid3) InverseP(workers int) {
-	g.transform3P(true, workers)
-	scale := complex(1/float64(g.Nx*g.Ny*g.Nz), 0)
-	for i := range g.Data {
-		g.Data[i] *= scale
-	}
+	g.transform3(true, clampWorkers(workers))
+	g.scaleInverse()
 }
 
 func clampWorkers(workers int) int {
@@ -36,17 +30,30 @@ func clampWorkers(workers int) int {
 	return workers
 }
 
-// parallelLines runs fn(l) for l in [0, n) across the workers with
-// contiguous chunking.
-func parallelLines(n, workers int, fn func(l int)) {
-	workers = clampWorkers(workers)
-	if workers == 1 || n < 2*workers {
-		for l := 0; l < n; l++ {
-			fn(l)
-		}
+// transform3 runs the three axis passes over the grid's plan, splitting
+// each pass's units across the workers. The single-worker path runs
+// everything inline (no goroutines, no allocations in steady state).
+func (g *Grid3) transform3(inverse bool, workers int) {
+	p := g.plan()
+	p.ensureTiles(workers)
+	p.g, p.inverse = g, inverse
+	p.nTilesX = (g.Nx + tileB - 1) / tileB
+	for _, axis := range [3]uint8{axisX, axisY, axisZ} {
+		p.axis = axis
+		p.runAxis(workers)
+	}
+	p.g = nil
+}
+
+// runAxis executes the staged axis pass, chunking its units contiguously
+// across the workers. Chunk boundaries depend only on the unit count and
+// worker count, never on scheduling.
+func (p *grid3Plan) runAxis(workers int) {
+	n := p.unitCount(p.axis)
+	if workers <= 1 || n < 2*workers {
+		p.runUnits(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -57,52 +64,15 @@ func parallelLines(n, workers int, fn func(l int)) {
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for l := lo; l < hi; l++ {
-				fn(l)
-			}
-		}(lo, hi)
+		p.wg.Add(1)
+		go p.runUnitsDone(w, lo, hi)
 	}
-	wg.Wait()
+	p.wg.Wait()
 }
 
-func (g *Grid3) transform3P(inverse bool, workers int) {
-	// Warm the twiddle cache single-threaded (the map is not
-	// synchronized; concurrent first use would race).
-	twiddles(g.Nx)
-	twiddles(g.Ny)
-	twiddles(g.Nz)
-
-	// X lines: contiguous, indexed by (j, k).
-	parallelLines(g.Ny*g.Nz, workers, func(l int) {
-		j, k := l%g.Ny, l/g.Ny
-		base := g.Index(0, j, k)
-		transform(g.Data[base:base+g.Nx], inverse)
-	})
-	// Y lines: gather/scatter with stride Nx, indexed by (i, k).
-	parallelLines(g.Nx*g.Nz, workers, func(l int) {
-		i, k := l%g.Nx, l/g.Nx
-		buf := make([]complex128, g.Ny)
-		for j := 0; j < g.Ny; j++ {
-			buf[j] = g.At(i, j, k)
-		}
-		transform(buf, inverse)
-		for j := 0; j < g.Ny; j++ {
-			g.Set(i, j, k, buf[j])
-		}
-	})
-	// Z lines: stride Nx*Ny, indexed by (i, j).
-	parallelLines(g.Nx*g.Ny, workers, func(l int) {
-		i, j := l%g.Nx, l/g.Nx
-		buf := make([]complex128, g.Nz)
-		for k := 0; k < g.Nz; k++ {
-			buf[k] = g.At(i, j, k)
-		}
-		transform(buf, inverse)
-		for k := 0; k < g.Nz; k++ {
-			g.Set(i, j, k, buf[k])
-		}
-	})
+// runUnitsDone is the goroutine body of a parallel axis chunk: a named
+// method with value arguments, so spawning it allocates no closure.
+func (p *grid3Plan) runUnitsDone(w, lo, hi int) {
+	defer p.wg.Done()
+	p.runUnits(w, lo, hi)
 }

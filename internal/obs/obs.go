@@ -264,6 +264,20 @@ type MemSnapshot struct {
 	MallocsPerStep float64 `json:"mallocs_per_step"`
 }
 
+// MeshPathSnapshot breaks the long-range mesh path into its three phases
+// — charge spreading, FFT convolution, force interpolation — normalized
+// per MTS refresh, so a reader can see where a long-range evaluation's
+// time goes without dividing phase totals by the refresh cadence.
+type MeshPathSnapshot struct {
+	Refreshes       int64   `json:"refreshes"` // MTS long-range evaluations
+	SpreadNs        int64   `json:"spread_ns"`
+	FFTNs           int64   `json:"fft_ns"`
+	InterpNs        int64   `json:"interp_ns"`
+	SpreadMsPerEval float64 `json:"spread_ms_per_eval"`
+	FFTMsPerEval    float64 `json:"fft_ms_per_eval"`
+	InterpMsPerEval float64 `json:"interp_ms_per_eval"`
+}
+
 // Snapshot is the registry's full rendered state: JSON-marshallable,
 // self-describing, and stable in field naming.
 type Snapshot struct {
@@ -275,6 +289,7 @@ type Snapshot struct {
 	MatchEfficiency float64             `json:"match_efficiency"`
 	MeanOccupancy   float64             `json:"mean_batch_occupancy"` // mean flushed batch fill fraction
 	Occupancy       []OccupancySnapshot `json:"batch_occupancy"`
+	MeshPath        MeshPathSnapshot    `json:"mesh_path"`
 	Mem             MemSnapshot         `json:"mem"`
 }
 
@@ -322,6 +337,17 @@ func (r *Recorder) Snapshot() Snapshot {
 			Flushes: n,
 		})
 	}
+	s.MeshPath = MeshPathSnapshot{
+		Refreshes: r.counters[CtrLongRangeEvals],
+		SpreadNs:  r.phases[PhaseMeshSpread].Ns,
+		FFTNs:     r.phases[PhaseFFT].Ns,
+		InterpNs:  r.phases[PhaseMeshInterp].Ns,
+	}
+	if n := s.MeshPath.Refreshes; n > 0 {
+		s.MeshPath.SpreadMsPerEval = float64(s.MeshPath.SpreadNs) / 1e6 / float64(n)
+		s.MeshPath.FFTMsPerEval = float64(s.MeshPath.FFTNs) / 1e6 / float64(n)
+		s.MeshPath.InterpMsPerEval = float64(s.MeshPath.InterpNs) / 1e6 / float64(n)
+	}
 	s.Mem = MemSnapshot{
 		Tracked:    r.trackMem,
 		Mallocs:    r.mallocs,
@@ -363,6 +389,10 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "  match efficiency %.1f%%, mean batch occupancy %.1f%%\n",
 		s.MatchEfficiency*100, s.MeanOccupancy*100)
+	if s.MeshPath.Refreshes > 0 {
+		fmt.Fprintf(&b, "  mesh path per refresh (%d refreshes): spread %.3f ms, fft %.3f ms, interp %.3f ms\n",
+			s.MeshPath.Refreshes, s.MeshPath.SpreadMsPerEval, s.MeshPath.FFTMsPerEval, s.MeshPath.InterpMsPerEval)
+	}
 	if s.Mem.Tracked {
 		fmt.Fprintf(&b, "  allocs/step %.1f (%d B total), GCs %d (%.2f ms paused)\n",
 			s.Mem.MallocsPerStep, s.Mem.AllocBytes, s.Mem.NumGC, float64(s.Mem.GCPauseNs)/1e6)

@@ -27,6 +27,15 @@ echo "== race: core + htis + obs + health + trace =="
 go test -race -short ./internal/core ./internal/htis ./internal/obs \
 	./internal/obs/health ./internal/trace
 
+echo "== race: fft plan cache + ewald mesh path =="
+# The FFT plan cache is process-global and hit concurrently by every
+# parallel transform and every shard engine; the ewald spreaders carry
+# pooled per-solver scratch. TestPlanCacheConcurrent hammers the cache
+# from many goroutines, and the concurrent shard mesh-solve test below
+# (in core) crosses engines.
+go test -race -short ./internal/fft ./internal/ewald
+go test -race -run 'TestConcurrentShardMeshSolves' ./internal/core
+
 echo "== race: sharded virtual-node pipeline =="
 # The sharded execution path is the repo's most concurrency-dense code:
 # one goroutine per shard exchanging position/force messages every step.
@@ -58,6 +67,13 @@ echo "== determinism: repeated runs =="
 go test -count=2 -run \
 	'TestCommDeterministic|TestObsBitwiseInvariance|Deterministic|Bitwise|Invariance' \
 	./internal/core ./internal/fft ./internal/torus ./internal/obs
+
+echo "== mesh hot path: allocation smoke =="
+# One iteration of each mesh-path benchmark; the committed BENCH files
+# record the full numbers, this gate just proves the path still builds,
+# runs and reports allocations.
+go test -run '^$' -bench 'BenchmarkFFT3D$|BenchmarkDistFFT' -benchtime 1x \
+	./internal/fft >/dev/null
 
 echo "== trace export: generate + validate =="
 # Drive a short instrumented run, then validate the exported Chrome
