@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench-pair bench-mesh profile trace bench-obs shards chaos scaling
+.PHONY: build test test-short verify serve bench-pair bench-mesh profile trace bench-obs shards chaos scaling
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ test-short:
 # mutable state (see scripts/verify.sh).
 verify:
 	sh scripts/verify.sh
+
+# Run the simulation daemon with durable job state under ./antond-state.
+# Submit jobs with curl (see README "Service quickstart"); kill and rerun
+# this target to watch interrupted jobs resume from their checkpoints.
+serve:
+	$(GO) run ./cmd/antond -listen localhost:8780 -state antond-state
 
 # Instrumented demo run: per-phase metrics to metrics.json plus a live
 # pprof endpoint, then the measured-vs-predicted profile experiment.

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -24,6 +25,36 @@ type experiment struct {
 	name      string
 	expensive bool
 	run       func(full bool) (string, error)
+}
+
+// benchRecord is one structured BENCH_*.json generator: a -*-json flag
+// value, its short/full step counts, and the experiment function that
+// produces the marshaled record.
+type benchRecord struct {
+	name             string
+	file             string
+	steps, fullSteps int
+	gen              func(steps int) ([]byte, error)
+}
+
+// writeRecord generates and atomically-enough writes one structured
+// record, exiting non-zero on any failure so CI cannot mistake a
+// half-regenerated BENCH file for a fresh one.
+func writeRecord(logger *slog.Logger, r benchRecord, full bool) {
+	steps := r.steps
+	if full {
+		steps = r.fullSteps
+	}
+	b, err := r.gen(steps)
+	if err != nil {
+		logger.Error(r.name, "err", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(r.file, b, 0o644); err != nil {
+		logger.Error("write "+r.name, "file", r.file, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("wrote "+r.name, "file", r.file, "steps", steps)
 }
 
 var registry = []experiment{
@@ -144,75 +175,25 @@ func main() {
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logFormat, false)
 
-	if *profileJSON != "" {
-		steps := 40
-		if *full {
-			steps = 400
-		}
-		b, err := experiments.ProfileJSON(steps)
-		if err != nil {
-			logger.Error("profile", "err", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*profileJSON, b, 0o644); err != nil {
-			logger.Error("write profile", "err", err)
-			os.Exit(1)
-		}
-		logger.Info("wrote structured profile", "file", *profileJSON, "steps", steps)
-		return
+	// Structured BENCH record generators. One shared write path: each
+	// record is generated, written, and verified through writeRecord, so
+	// a failed marshal or write always exits non-zero — CI regenerating
+	// the committed BENCH_*.json files can never silently lose one.
+	records := []benchRecord{
+		{"structured profile", *profileJSON, 40, 400, experiments.ProfileJSON},
+		{"shard scaling record", *shardsJSON, 24, 120, experiments.ShardScalingJSON},
+		{"mesh scaling record", *scalingJSON, 6, 24, experiments.MeshScalingJSON},
+		{"chaos soak record", *chaosJSON, 60, 200, experiments.ChaosJSON},
 	}
-
-	if *shardsJSON != "" {
-		steps := 24
-		if *full {
-			steps = 120
+	ranRecord := false
+	for _, r := range records {
+		if r.file == "" {
+			continue
 		}
-		b, err := experiments.ShardScalingJSON(steps)
-		if err != nil {
-			logger.Error("shard scaling", "err", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*shardsJSON, b, 0o644); err != nil {
-			logger.Error("write shard scaling", "err", err)
-			os.Exit(1)
-		}
-		logger.Info("wrote shard scaling record", "file", *shardsJSON, "steps", steps)
-		return
+		writeRecord(logger, r, *full)
+		ranRecord = true
 	}
-
-	if *scalingJSON != "" {
-		steps := 6
-		if *full {
-			steps = 24
-		}
-		b, err := experiments.MeshScalingJSON(steps)
-		if err != nil {
-			logger.Error("mesh scaling", "err", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*scalingJSON, b, 0o644); err != nil {
-			logger.Error("write mesh scaling", "err", err)
-			os.Exit(1)
-		}
-		logger.Info("wrote mesh scaling record", "file", *scalingJSON, "steps", steps)
-		return
-	}
-
-	if *chaosJSON != "" {
-		steps := 60
-		if *full {
-			steps = 200
-		}
-		b, err := experiments.ChaosJSON(steps)
-		if err != nil {
-			logger.Error("chaos soak", "err", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*chaosJSON, b, 0o644); err != nil {
-			logger.Error("write chaos soak", "err", err)
-			os.Exit(1)
-		}
-		logger.Info("wrote chaos soak record", "file", *chaosJSON, "steps", steps)
+	if ranRecord {
 		return
 	}
 

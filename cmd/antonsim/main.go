@@ -12,7 +12,16 @@
 //	antonsim -system small -steps 100000 -listen localhost:8777 -watch
 //	antonsim -system small -shards 8 -steps 200 -chaos 'seed=7,drop=0.02,crashes=1'
 //	antonsim -system small -steps 1000 -checkpoint run.ckpt
+//	antonsim -system small -steps 1000 -checkpoint run.ckpt -resume run.ckpt
 //	antonsim -list
+//
+// -resume restores a checkpoint written by -checkpoint and continues the
+// run from its step count: -steps is the total step target, so a run
+// interrupted at step 400 of 1000 resumes with the same command line and
+// executes steps 401..1000, bitwise identical to an uninterrupted run
+// (compare the printed state digests). The restore validates the
+// checkpoint's configuration fingerprint and CRC before touching any
+// engine state and refuses cleanly on mismatch.
 //
 // SIGINT/SIGTERM stop the run gracefully: the current report chunk
 // finishes, a final checkpoint is flushed (with -checkpoint), and the
@@ -21,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -69,6 +79,7 @@ func main() {
 		chaosRestarts  = flag.Int("chaos-restarts", 0, "max restarts per crashed shard before its boxes fold into a survivor (0 = library default, negative = adopt on first crash)")
 		ckptPath       = flag.String("checkpoint", "", "write crash-consistent checkpoints to this file (periodic under -chaos, always flushed on exit)")
 		ckptEvery      = flag.Int("checkpoint-every", 0, "supervised checkpoint cadence in steps under -chaos (0 = library default)")
+		resumePath     = flag.String("resume", "", "resume from this checkpoint file (-steps becomes the total step target)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logFormat, *verbose)
@@ -138,6 +149,39 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(2))
 	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+
+	// Resume: restore the checkpoint before anything (fault plane,
+	// observability) attaches. The restore is validate-before-mutate — a
+	// checkpoint written under a different configuration (system, dt,
+	// cutoff, mesh, edited topology) or a damaged file refuses cleanly
+	// with the engine state untouched, and we exit rather than silently
+	// start a different trajectory. The restored velocities overwrite the
+	// seeded initialization above, exactly as an uninterrupted run would
+	// have evolved them.
+	if *resumePath != "" {
+		restore := eng.RestoreCheckpointFile
+		if sh != nil {
+			restore = sh.RestoreCheckpointFile
+		}
+		if err := restore(*resumePath); err != nil {
+			switch {
+			case errors.Is(err, core.ErrCheckpointConfig):
+				logger.Error("resume refused: checkpoint was written under a different configuration",
+					"file", *resumePath, "err", err)
+			case errors.Is(err, core.ErrCheckpointCorrupt), errors.Is(err, core.ErrCheckpointTruncated):
+				logger.Error("resume refused: checkpoint file is damaged",
+					"file", *resumePath, "err", err)
+			default:
+				logger.Error("resume checkpoint", "file", *resumePath, "err", err)
+			}
+			os.Exit(1)
+		}
+		logger.Info("resumed from checkpoint", "file", *resumePath, "step", eng.StepCount())
+		if eng.StepCount() >= *steps {
+			logger.Info("checkpoint already at or past the step target; nothing to run",
+				"step", eng.StepCount(), "target", *steps)
+		}
+	}
 
 	// Fault injection: the chaos plane and the supervised recovery loop
 	// wrap the sharded pipeline (the monolithic engine has no transport to
@@ -246,15 +290,19 @@ func main() {
 	}
 
 	step := eng.Step
+	remaining := *steps - eng.StepCount()
+	if remaining < 0 {
+		remaining = 0
+	}
 	if sh != nil {
 		step = sh.Step
 		fmt.Printf("running %d steps across %d virtual node shards (torus %v)\n",
-			*steps, *shards, eng.Mach.Dims)
+			remaining, *shards, eng.Mach.Dims)
 	} else {
-		fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", *steps, *nodes, eng.Mach.Dims)
+		fmt.Printf("running %d steps on a %d-node machine (torus %v)\n", remaining, *nodes, eng.Mach.Dims)
 	}
 	interrupted := false
-	for done := 0; done < *steps; {
+	for done := eng.StepCount(); done < *steps; {
 		if ctx.Err() != nil {
 			interrupted = true
 			logger.Info("signal received, stopping", "completed", done, "requested", *steps)
@@ -312,6 +360,11 @@ func main() {
 	if interrupted {
 		logger.Info("stopped early on signal", "steps", eng.StepCount())
 	}
+
+	// The state digest identifies the trajectory: an interrupted-and-
+	// resumed run must print the same digest at the same step as an
+	// uninterrupted one.
+	fmt.Printf("\nstate digest at step %d: %016x\n", eng.StepCount(), eng.StateDigest())
 
 	st := eng.Stats
 	fmt.Printf("\nhardware statistics over %d steps:\n", st.Steps)

@@ -26,6 +26,14 @@ import (
 // state — so a damaged file fails the restore and leaves the previous
 // in-memory state intact.
 
+// AtomicWriteFile writes data to path with the temp-fsync-rename-fsync
+// sequence above. Exported for the service layer: job specs and status
+// records need the same crash-consistency discipline as checkpoints (a
+// torn status.json would strand a resumable job).
+func AtomicWriteFile(path string, data []byte) error {
+	return writeFileAtomic(path, data)
+}
+
 // writeFileAtomic writes data to path with the temp-fsync-rename-fsync
 // sequence above.
 func writeFileAtomic(path string, data []byte) error {

@@ -100,12 +100,12 @@ type supervisor struct {
 	abort chan struct{} // closed to abort the current stage; re-armed per recovery
 	tick  uint64        // stage sequence number (discriminates straggler signals)
 
-	liveExec []int32        // executor ids still running, ascending
+	liveExec []int32         // executor ids still running, ascending
 	states   [][]*shardState // states[exec] = shard states that executor runs
-	execOf   []int32        // shard id -> executor id
-	restarts []int          // restart budget spent per shard
-	dead     []bool         // executor permanently dead (states adopted away)
-	seen     []bool         // collect() scratch
+	execOf   []int32         // shard id -> executor id
+	restarts []int           // restart budget spent per shard
+	dead     []bool          // executor permanently dead (states adopted away)
+	seen     []bool          // collect() scratch
 
 	haveCkpt  bool
 	ckptImage []byte

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// auth is the submission-side access control: bearer-token
+// authentication plus a per-token rate limit on job submission (a
+// classic token bucket). With no tokens configured the daemon runs open
+// — the single-operator lab mode — and the rate limit then keys on the
+// empty token, i.e. becomes a global submission limit.
+type auth struct {
+	tokens map[string]bool
+
+	// Rate limit: ratePerMin submissions per minute with bursts of up to
+	// burst. ratePerMin <= 0 disables limiting.
+	ratePerMin float64
+	burst      float64
+
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAuth(tokens []string, ratePerMin float64, burst int) *auth {
+	a := &auth{
+		tokens:     make(map[string]bool, len(tokens)),
+		ratePerMin: ratePerMin,
+		burst:      float64(burst),
+		now:        time.Now,
+		buckets:    make(map[string]*bucket),
+	}
+	for _, t := range tokens {
+		if t != "" {
+			a.tokens[t] = true
+		}
+	}
+	if a.burst <= 0 {
+		a.burst = 1
+	}
+	return a
+}
+
+func (a *auth) enabled() bool { return len(a.tokens) > 0 }
+
+// token extracts the bearer token from a request ("Authorization:
+// Bearer x" or the X-Auth-Token header).
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	if after, ok := strings.CutPrefix(h, "Bearer "); ok {
+		return strings.TrimSpace(after)
+	}
+	return r.Header.Get("X-Auth-Token")
+}
+
+// authenticate reports whether the request carries a valid token. Always
+// true in open mode. Comparison is constant-time per candidate so the
+// check does not leak token bytes through timing.
+func (a *auth) authenticate(r *http.Request) (string, bool) {
+	tok := bearerToken(r)
+	if !a.enabled() {
+		return tok, true
+	}
+	for want := range a.tokens {
+		if len(want) == len(tok) &&
+			subtle.ConstantTimeCompare([]byte(want), []byte(tok)) == 1 {
+			return tok, true
+		}
+	}
+	return "", false
+}
+
+// allow spends one submission from the token's bucket, refilling at
+// ratePerMin. Returns false when the bucket is empty (HTTP 429).
+func (a *auth) allow(token string) bool {
+	if a.ratePerMin <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b, ok := a.buckets[token]
+	if !ok {
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[token] = b
+	}
+	b.tokens += now.Sub(b.last).Minutes() * a.ratePerMin
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

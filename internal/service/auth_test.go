@@ -1,0 +1,76 @@
+package service
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestAuthenticate(t *testing.T) {
+	a := newAuth([]string{"s3cret", "other"}, 0, 0)
+
+	req := httptest.NewRequest("GET", "/", nil)
+	if _, ok := a.authenticate(req); ok {
+		t.Fatal("accepted a request with no token")
+	}
+	req.Header.Set("Authorization", "Bearer wrong")
+	if _, ok := a.authenticate(req); ok {
+		t.Fatal("accepted a wrong token")
+	}
+	req.Header.Set("Authorization", "Bearer s3cret")
+	if tok, ok := a.authenticate(req); !ok || tok != "s3cret" {
+		t.Fatalf("rejected a valid bearer token (tok=%q ok=%v)", tok, ok)
+	}
+	req2 := httptest.NewRequest("GET", "/", nil)
+	req2.Header.Set("X-Auth-Token", "other")
+	if _, ok := a.authenticate(req2); !ok {
+		t.Fatal("rejected a valid X-Auth-Token")
+	}
+
+	// Open mode: no tokens configured, everything authenticates.
+	open := newAuth(nil, 0, 0)
+	if _, ok := open.authenticate(httptest.NewRequest("GET", "/", nil)); !ok {
+		t.Fatal("open mode rejected a tokenless request")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	a := newAuth([]string{"tok"}, 60, 2) // 1 token/s, burst 2
+	now := time.Unix(1_000_000, 0)
+	a.now = func() time.Time { return now }
+
+	if !a.allow("tok") || !a.allow("tok") {
+		t.Fatal("burst of 2 was not allowed")
+	}
+	if a.allow("tok") {
+		t.Fatal("third immediate submission allowed past burst")
+	}
+	// Tokens are per identity: a different token has its own bucket.
+	if !a.allow("other") {
+		t.Fatal("fresh token shared an exhausted bucket")
+	}
+	// One second refills exactly one submission at 60/min.
+	now = now.Add(time.Second)
+	if !a.allow("tok") {
+		t.Fatal("refill after 1s not granted")
+	}
+	if a.allow("tok") {
+		t.Fatal("1s refill granted more than one submission")
+	}
+	// A long idle period caps at burst, not at elapsed*rate.
+	now = now.Add(time.Hour)
+	if !a.allow("tok") || !a.allow("tok") {
+		t.Fatal("burst not available after long idle")
+	}
+	if a.allow("tok") {
+		t.Fatal("idle refill exceeded burst cap")
+	}
+
+	// Disabled limiter always allows.
+	unlimited := newAuth([]string{"tok"}, 0, 0)
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow("tok") {
+			t.Fatal("disabled rate limit denied a submission")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+
+	"anton/internal/obs"
+)
+
+// Config tunes a Daemon.
+type Config struct {
+	// StateDir roots the durable job store. Everything the daemon must
+	// survive a kill with lives under it.
+	StateDir string
+
+	// Workers bounds how many jobs run concurrently (default 2). Each
+	// running job is its own engine (with its own internal worker pool),
+	// so this is the multi-tenancy knob, not the CPU knob.
+	Workers int
+
+	// Tokens enables bearer-token auth when non-empty; requests to
+	// /api/v1 must present one of them.
+	Tokens []string
+
+	// RatePerMin limits job submissions per token per minute (0 = no
+	// limit), with bursts up to Burst (default 5).
+	RatePerMin float64
+	Burst      int
+
+	// Logger receives operational logs (default: slog.Default()).
+	Logger *slog.Logger
+}
+
+// Daemon is the long-lived simulation service: a durable job store, a
+// prioritized FIFO queue, a bounded worker pool, and the HTTP API over
+// them. Construct with New (which recovers interrupted jobs), Start the
+// pool, serve Handler, then Stop (graceful) or Kill (abrupt, for tests
+// and impatient operators).
+type Daemon struct {
+	cfg   Config
+	store *Store
+	q     *queue
+	auth  *auth
+	tset  *obs.TelemetrySet
+	log   *slog.Logger
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	graceful atomic.Bool
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	canceled map[string]bool
+	started  bool
+}
+
+// New opens the store under cfg.StateDir, re-queues every job that was
+// queued or running when the previous daemon died, and returns a daemon
+// ready to Start. Recovery precedes Start by construction, so a worker
+// can never race the scan.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 5
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	st, err := OpenStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:      cfg,
+		store:    st,
+		q:        newQueue(),
+		auth:     newAuth(cfg.Tokens, cfg.RatePerMin, cfg.Burst),
+		tset:     obs.NewTelemetrySet(),
+		log:      cfg.Logger,
+		ctx:      ctx,
+		cancel:   cancel,
+		canceled: make(map[string]bool),
+	}
+	recovered, err := st.Recover()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for _, js := range recovered {
+		d.q.push(js.ID, js.Spec.Priority)
+		d.log.Info("recovered interrupted job", "job", js.ID, "step", js.Step,
+			"steps", js.Spec.Steps, "resumes", js.Resumes)
+	}
+	return d, nil
+}
+
+// Start launches the worker pool. Idempotent.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return
+	}
+	d.started = true
+	for i := 0; i < d.cfg.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+}
+
+// Stop drains the daemon gracefully: the queue closes (idle workers
+// exit), running jobs stop at their next chunk boundary after flushing a
+// checkpoint, and Stop returns when every worker has exited or ctx
+// expires. Interrupted jobs stay "running" in the store — the next
+// daemon's recovery scan re-queues and resumes them.
+func (d *Daemon) Stop(ctx context.Context) error {
+	d.graceful.Store(true)
+	d.q.close()
+	d.cancel()
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: stop: workers still running: %w", ctx.Err())
+	}
+}
+
+// Kill stops the daemon abruptly: running jobs abandon their current
+// chunk's progress without persisting anything, exactly as a SIGKILL
+// between checkpoint writes would. The durability tests use this to
+// prove resume-from-last-checkpoint is bitwise exact.
+func (d *Daemon) Kill() {
+	d.q.close()
+	d.cancel()
+	d.wg.Wait()
+}
+
+// Submit validates, persists and enqueues a job, returning its status.
+func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	js, err := d.store.Create(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	d.q.push(js.ID, spec.Priority)
+	d.log.Info("job submitted", "job", js.ID, "system", spec.System,
+		"steps", spec.Steps, "shards", spec.Shards, "priority", spec.Priority)
+	return js, nil
+}
+
+// Cancel requests cancellation: a queued job is canceled immediately; a
+// running job stops at its next chunk boundary (its checkpoint is kept,
+// so a canceled job can be inspected or re-submitted). Terminal jobs
+// return an error.
+func (d *Daemon) Cancel(id string) (JobStatus, error) {
+	js, ok := d.store.Get(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: no such job %s", id)
+	}
+	if js.State.terminal() {
+		return js, fmt.Errorf("service: job %s already %s", id, js.State)
+	}
+	d.mu.Lock()
+	d.canceled[id] = true
+	d.mu.Unlock()
+	if d.q.remove(id) {
+		// Still queued: no worker owns it, finalize here.
+		d.finish(&js, StateCanceled, nil)
+		js, _ = d.store.Get(id)
+	}
+	return js, nil
+}
+
+func (d *Daemon) jobCanceled(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.canceled[id]
+}
+
+// Job returns a job's status.
+func (d *Daemon) Job(id string) (JobStatus, bool) { return d.store.Get(id) }
+
+// Jobs lists every job in submission order.
+func (d *Daemon) Jobs() []JobStatus { return d.store.List() }
+
+// QueueDepth reports how many jobs are waiting for a worker.
+func (d *Daemon) QueueDepth() int { return d.q.depth() }
+
+// writeDaemonMetrics renders daemon-level Prometheus metrics (job counts
+// by state, queue depth, worker bound).
+func (d *Daemon) writeDaemonMetrics(w io.Writer) {
+	counts := d.store.Counts()
+	fmt.Fprintf(w, "# HELP antond_jobs Jobs by state.\n# TYPE antond_jobs gauge\n")
+	for _, s := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "antond_jobs{state=%q} %d\n", s, counts[s])
+	}
+	fmt.Fprintf(w, "# HELP antond_queue_depth Jobs waiting for a worker.\n# TYPE antond_queue_depth gauge\n")
+	fmt.Fprintf(w, "antond_queue_depth %d\n", d.q.depth())
+	fmt.Fprintf(w, "# HELP antond_workers Configured worker-pool size.\n# TYPE antond_workers gauge\n")
+	fmt.Fprintf(w, "antond_workers %d\n", d.cfg.Workers)
+}

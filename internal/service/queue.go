@@ -1,0 +1,102 @@
+package service
+
+import "sync"
+
+// queue is the prioritized FIFO job queue feeding the worker pool:
+// higher Priority pops first, and jobs of equal priority pop in
+// submission order (the seq counter breaks ties). It deliberately holds
+// job IDs, not jobs — the store is the single source of truth, and a
+// daemon restart rebuilds the queue from the store's recovery scan.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queueItem
+	seq    uint64
+	closed bool
+}
+
+type queueItem struct {
+	id       string
+	priority int
+	seq      uint64
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job ID at the given priority. Pushing onto a closed
+// queue is a silent no-op (the daemon is draining; the job stays queued
+// in the store and the next daemon's recovery scan picks it up).
+func (q *queue) push(id string, priority int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	it := queueItem{id: id, priority: priority, seq: q.seq}
+	q.seq++
+	// Sorted insert: descending priority, ascending seq within a level.
+	// Queues are human-scale (thousands at most); O(n) insert keeps pop
+	// trivially O(1) and the order obvious.
+	pos := len(q.items)
+	for i, e := range q.items {
+		if it.priority > e.priority {
+			pos = i
+			break
+		}
+	}
+	q.items = append(q.items, queueItem{})
+	copy(q.items[pos+1:], q.items[pos:])
+	q.items[pos] = it
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue is closed, in which
+// case it returns ok=false.
+func (q *queue) pop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return "", false
+	}
+	it := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return it.id, true
+}
+
+// remove deletes a queued ID (cancellation). Returns whether it was
+// present.
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, e := range q.items {
+		if e.id == id {
+			copy(q.items[i:], q.items[i+1:])
+			q.items = q.items[:len(q.items)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// depth reports the queued item count.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close wakes every blocked pop with ok=false. Idempotent.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueuePriorityFIFO(t *testing.T) {
+	q := newQueue()
+	q.push("low-1", 0)
+	q.push("high-1", 5)
+	q.push("low-2", 0)
+	q.push("high-2", 5)
+	q.push("mid-1", 3)
+
+	want := []string{"high-1", "high-2", "mid-1", "low-1", "low-2"}
+	for _, w := range want {
+		id, ok := q.pop()
+		if !ok {
+			t.Fatalf("queue closed early, wanted %s", w)
+		}
+		if id != w {
+			t.Fatalf("popped %s, want %s", id, w)
+		}
+	}
+	if d := q.depth(); d != 0 {
+		t.Fatalf("depth %d after draining, want 0", d)
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	q := newQueue()
+	got := make(chan string, 1)
+	go func() {
+		id, ok := q.pop()
+		if !ok {
+			close(got)
+			return
+		}
+		got <- id
+	}()
+	// The popper must block: nothing has been pushed yet.
+	select {
+	case id := <-got:
+		t.Fatalf("pop returned %q before any push", id)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.push("a", 0)
+	select {
+	case id := <-got:
+		if id != "a" {
+			t.Fatalf("popped %q, want a", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake after push")
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := newQueue()
+	done := make(chan bool, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, ok := q.pop()
+			done <- ok
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	for i := 0; i < 2; i++ {
+		select {
+		case ok := <-done:
+			if ok {
+				t.Fatal("pop on closed empty queue returned ok=true")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("pop did not wake on close")
+		}
+	}
+	// Pushing after close is a silent no-op; pop keeps returning ok=false.
+	q.push("late", 9)
+	if d := q.depth(); d != 0 {
+		t.Fatalf("closed queue accepted a push (depth %d)", d)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed queue returned ok=true")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue()
+	q.push("a", 0)
+	q.push("b", 0)
+	q.push("c", 0)
+	if !q.remove("b") {
+		t.Fatal("remove(b) = false, want true")
+	}
+	if q.remove("b") {
+		t.Fatal("second remove(b) = true, want false")
+	}
+	for _, w := range []string{"a", "c"} {
+		if id, _ := q.pop(); id != w {
+			t.Fatalf("popped %s, want %s", id, w)
+		}
+	}
+}

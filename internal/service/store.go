@@ -1,0 +1,256 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"anton/internal/core"
+)
+
+// JobState is a job's lifecycle position. The persisted state machine is
+//
+//	queued -> running -> done | failed
+//	queued | running -> canceled
+//	running -(daemon death)-> running on disk -> re-queued at recovery
+//
+// A job found queued or running at daemon startup was interrupted; the
+// recovery scan re-queues it, and its worker resumes from the persisted
+// checkpoint (or from step 0 if the job never reached one).
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state can never change again.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the durable record of one job: its spec plus everything
+// the operator needs to monitor and audit it. Persisted as status.json
+// in the job's directory with the same temp+fsync+rename discipline as
+// checkpoints, so at every instant the file is a complete, parseable
+// record.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Spec  JobSpec  `json:"spec"`
+
+	// Step is the last durably recorded step (always a checkpoint
+	// boundary while running).
+	Step int `json:"step"`
+
+	// Digest is the engine state digest at Step, in hex. Equal digests
+	// at equal steps mean bitwise-identical trajectories — this is how
+	// an operator audits that an interruption cost nothing.
+	Digest string `json:"digest,omitempty"`
+
+	// Resumes counts checkpoint restores; ResumedFrom is the step of the
+	// most recent one (-1 when the job has never resumed).
+	Resumes     int `json:"resumes"`
+	ResumedFrom int `json:"resumed_from"`
+
+	// Last sampled diagnostics (informational; floats never feed state).
+	Temperature float64 `json:"temperature_k,omitempty"`
+	TotalEnergy float64 `json:"total_energy,omitempty"`
+
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	UpdatedAt   time.Time `json:"updated_at"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// Store is the durable job store: one directory per job under
+// root/jobs, holding spec-bearing status.json and the job's checkpoint.
+// All writes are crash-consistent; the in-memory map is a cache over the
+// files, rebuilt by a directory scan at open.
+type Store struct {
+	root string
+
+	mu   sync.RWMutex
+	jobs map[string]*JobStatus
+	seq  int
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir and loads
+// every job record found there.
+func OpenStore(dir string) (*Store, error) {
+	st := &Store{root: dir, jobs: make(map[string]*JobStatus)}
+	if err := os.MkdirAll(st.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("service: opening store: %w", err)
+	}
+	entries, err := os.ReadDir(st.jobsDir())
+	if err != nil {
+		return nil, fmt.Errorf("service: scanning store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		b, err := os.ReadFile(filepath.Join(st.jobsDir(), id, "status.json"))
+		if err != nil {
+			// A directory without a complete status record is a job that
+			// crashed between mkdir and the first atomic write; it holds
+			// no state worth recovering.
+			continue
+		}
+		var js JobStatus
+		if err := json.Unmarshal(b, &js); err != nil {
+			return nil, fmt.Errorf("service: corrupt status record for %s: %w", id, err)
+		}
+		st.jobs[id] = &js
+		if n := seqOf(id); n > st.seq {
+			st.seq = n
+		}
+	}
+	return st, nil
+}
+
+func (st *Store) jobsDir() string { return filepath.Join(st.root, "jobs") }
+
+// Dir returns the job's directory.
+func (st *Store) Dir(id string) string { return filepath.Join(st.jobsDir(), id) }
+
+// CheckpointPath returns the job's durable checkpoint file path.
+func (st *Store) CheckpointPath(id string) string {
+	return filepath.Join(st.Dir(id), "job.ckpt")
+}
+
+// seqOf parses the numeric tail of "job-000042"; 0 for foreign names.
+func seqOf(id string) int {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// Create allocates an ID, persists the job as queued, and returns a copy
+// of its status.
+func (st *Store) Create(spec JobSpec) (JobStatus, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	js := &JobStatus{
+		ID:          fmt.Sprintf("job-%06d", st.seq),
+		State:       StateQueued,
+		Spec:        spec,
+		ResumedFrom: -1,
+		SubmittedAt: time.Now().UTC(),
+		UpdatedAt:   time.Now().UTC(),
+	}
+	if err := os.MkdirAll(st.Dir(js.ID), 0o755); err != nil {
+		return JobStatus{}, fmt.Errorf("service: creating job dir: %w", err)
+	}
+	if err := st.persistLocked(js); err != nil {
+		return JobStatus{}, err
+	}
+	st.jobs[js.ID] = js
+	return *js, nil
+}
+
+// Put persists an updated status record (by value: the store keeps its
+// own copy, so callers can't mutate cached state behind the lock).
+func (st *Store) Put(js JobStatus) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	js.UpdatedAt = time.Now().UTC()
+	cp := js
+	if err := st.persistLocked(&cp); err != nil {
+		return err
+	}
+	st.jobs[cp.ID] = &cp
+	return nil
+}
+
+func (st *Store) persistLocked(js *JobStatus) error {
+	b, err := json.MarshalIndent(js, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := core.AtomicWriteFile(filepath.Join(st.Dir(js.ID), "status.json"), b); err != nil {
+		return fmt.Errorf("service: persisting %s: %w", js.ID, err)
+	}
+	return nil
+}
+
+// Get returns a copy of the job's status.
+func (st *Store) Get(id string) (JobStatus, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	js, ok := st.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *js, true
+}
+
+// List returns copies of every job status, sorted by ID (submission
+// order, since IDs are sequential).
+func (st *Store) List() []JobStatus {
+	st.mu.RLock()
+	out := make([]JobStatus, 0, len(st.jobs))
+	for _, js := range st.jobs {
+		out = append(out, *js)
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts tallies jobs by state (for /metrics and /healthz).
+func (st *Store) Counts() map[JobState]int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make(map[JobState]int, 5)
+	for _, js := range st.jobs {
+		out[js.State]++
+	}
+	return out
+}
+
+// Recover flips every interrupted job (queued or running on disk) back
+// to queued, persists the flip, and returns them in submission order for
+// re-enqueueing. Called once at daemon startup, before workers start.
+func (st *Store) Recover() ([]JobStatus, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []JobStatus
+	for _, js := range st.jobs {
+		if js.State.terminal() {
+			continue
+		}
+		if js.State == StateRunning {
+			js.State = StateQueued
+			js.UpdatedAt = time.Now().UTC()
+			if err := st.persistLocked(js); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *js)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

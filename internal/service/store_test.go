@@ -1,0 +1,149 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec() JobSpec {
+	s := JobSpec{System: "small", Steps: 100}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.Create(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Create(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("duplicate job ID %s", a.ID)
+	}
+	if a.State != StateQueued || a.ResumedFrom != -1 {
+		t.Fatalf("fresh job state = %s/resumed_from %d, want queued/-1", a.State, a.ResumedFrom)
+	}
+
+	a.State = StateDone
+	a.Step = 100
+	a.Digest = "deadbeefdeadbeef"
+	if err := st.Put(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory must see everything: the map
+	// is a cache, the files are the truth.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Get(a.ID)
+	if !ok {
+		t.Fatalf("reopened store lost %s", a.ID)
+	}
+	if got.State != StateDone || got.Step != 100 || got.Digest != "deadbeefdeadbeef" {
+		t.Fatalf("round-tripped status = %+v", got)
+	}
+	if l := st2.List(); len(l) != 2 || l[0].ID != a.ID || l[1].ID != b.ID {
+		t.Fatalf("List() = %v, want [%s %s]", l, a.ID, b.ID)
+	}
+	// New IDs must continue the sequence, not collide with loaded jobs.
+	c, err := st2.Create(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID <= b.ID {
+		t.Fatalf("reopened store allocated non-monotonic ID %s after %s", c.ID, b.ID)
+	}
+}
+
+func TestStoreRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _ := st.Create(testSpec())
+	running, _ := st.Create(testSpec())
+	done, _ := st.Create(testSpec())
+	running.State = StateRunning
+	running.Step = 50
+	if err := st.Put(running); err != nil {
+		t.Fatal(err)
+	}
+	done.State = StateDone
+	if err := st.Put(done); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery happens on a freshly opened store (daemon restart).
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (queued + interrupted)", len(rec))
+	}
+	if rec[0].ID != queued.ID || rec[1].ID != running.ID {
+		t.Fatalf("recovered %s,%s — want submission order %s,%s",
+			rec[0].ID, rec[1].ID, queued.ID, running.ID)
+	}
+	// The interrupted job is flipped to queued, durably, keeping its step.
+	got, _ := st2.Get(running.ID)
+	if got.State != StateQueued || got.Step != 50 {
+		t.Fatalf("interrupted job = %s at step %d, want queued at 50", got.State, got.Step)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st3.Get(running.ID); got.State != StateQueued {
+		t.Fatalf("recovery flip was not persisted: %s", got.State)
+	}
+	if got, _ := st3.Get(done.ID); got.State != StateDone {
+		t.Fatalf("recovery touched a terminal job: %s", got.State)
+	}
+}
+
+func TestStoreCorruptStatus(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := st.Create(testSpec())
+	path := filepath.Join(st.Dir(js.ID), "status.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("OpenStore accepted a corrupt status record")
+	}
+	// A job directory with no status.json at all is a mkdir-then-crash
+	// remnant and is skipped, not fatal.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(js.ID); ok {
+		t.Fatal("store resurrected a job with no status record")
+	}
+}

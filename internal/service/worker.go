@@ -1,0 +1,240 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"anton/internal/core"
+	"anton/internal/faults"
+	"anton/internal/obs"
+	"anton/internal/obs/health"
+	"anton/internal/system"
+)
+
+// buildSim constructs the execution engine a job spec describes: the
+// system, the (optionally sharded) engine, and the deterministic initial
+// velocities. A resumed job calls this too — the checkpoint restore then
+// overwrites the seeded state, exactly as the uninterrupted run would
+// have evolved it.
+func buildSim(spec JobSpec) (core.Sim, *core.Engine, *core.Sharded, error) {
+	var s *system.System
+	var err error
+	if spec.System == "small" {
+		s, err = system.Small(true, 1)
+	} else {
+		s, err = system.ByName(spec.System)
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("service: building system: %w", err)
+	}
+	nodes := spec.Nodes
+	if spec.Shards > 0 {
+		nodes = spec.Shards
+	}
+	cfg := core.DefaultConfig(nodes)
+	if spec.Ensemble == "nve" {
+		cfg.TauT = 0
+	} else {
+		cfg.TargetT = spec.Temperature
+	}
+	var eng *core.Engine
+	var sh *core.Sharded
+	if spec.Shards > 0 {
+		sh, err = core.NewSharded(s, cfg)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("service: building sharded engine: %w", err)
+		}
+		eng = sh.Engine()
+	} else {
+		eng, err = core.NewEngine(s, cfg)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("service: building engine: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	eng.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+	if sh != nil {
+		return sh, eng, sh, nil
+	}
+	return eng, eng, nil, nil
+}
+
+// worker is one pool goroutine: it drains the queue until the queue
+// closes (daemon stop).
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		id, ok := d.q.pop()
+		if !ok {
+			return
+		}
+		d.runJob(id)
+	}
+}
+
+// runJob owns one job end to end: build, resume, chunked stepping with
+// durable checkpoints, telemetry publishing, and the terminal status
+// write. The durability contract is enforced here: every chunk boundary
+// persists checkpoint-then-status (in that order — a status record never
+// points past its checkpoint), so a daemon death at any instant leaves a
+// resumable job that finishes bitwise identical to an uninterrupted run.
+func (d *Daemon) runJob(id string) {
+	js, ok := d.store.Get(id)
+	if !ok || js.State != StateQueued {
+		return
+	}
+	if d.jobCanceled(id) {
+		d.finish(&js, StateCanceled, nil)
+		return
+	}
+
+	js.State = StateRunning
+	js.StartedAt = time.Now().UTC()
+	if err := d.store.Put(js); err != nil {
+		d.log.Error("persist running state", "job", id, "err", err)
+		return
+	}
+
+	sim, eng, sh, err := buildSim(js.Spec)
+	if err != nil {
+		d.finish(&js, StateFailed, err)
+		return
+	}
+	if sh != nil {
+		defer sh.Close()
+	}
+
+	// Resume: a persisted checkpoint means this job was interrupted (or
+	// the daemon was). The restore validates fingerprint + CRC before
+	// mutating anything; a damaged file fails the job with a clear error
+	// rather than silently starting a different trajectory.
+	ckptPath := d.store.CheckpointPath(id)
+	if _, statErr := os.Stat(ckptPath); statErr == nil {
+		if err := sim.RestoreCheckpointFile(ckptPath); err != nil {
+			d.finish(&js, StateFailed, fmt.Errorf("resuming from checkpoint: %w", err))
+			return
+		}
+		js.Resumes++
+		js.ResumedFrom = sim.StepCount()
+		d.log.Info("job resumed from checkpoint", "job", id, "step", sim.StepCount())
+	}
+
+	if js.Spec.Chaos != "" {
+		spec, err := faults.ParseSpec(js.Spec.Chaos) // validated at submit
+		if err != nil {
+			d.finish(&js, StateFailed, err)
+			return
+		}
+		fcfg := core.FaultConfig{
+			Plane:           faults.New(spec, sh.Shards()),
+			CheckpointEvery: js.Spec.CheckpointEvery,
+			CheckpointPath:  ckptPath,
+		}
+		if err := sh.EnableFaults(fcfg); err != nil {
+			d.finish(&js, StateFailed, err)
+			return
+		}
+	}
+
+	// Per-job telemetry: the same /metrics, /healthz, /trace surface the
+	// CLI serves per run, published into the daemon's TelemetrySet and
+	// routed at /api/v1/jobs/{id}/{endpoint}. The surface outlives the
+	// job so terminal states stay scrapeable.
+	tel := d.tset.Acquire(id)
+	rec := obs.NewRecorder()
+	eng.Observe(rec)
+	tracer := obs.NewTracer(4096)
+	eng.Trace(tracer)
+	watch := core.NewWatch(eng, health.DefaultConfig(), 10)
+	if sh != nil && js.Spec.Chaos != "" {
+		watch.WatchTransport(sh.TransportCounts)
+	}
+	publish := func() {
+		tel.PublishSnapshot(rec.Snapshot())
+		tel.PublishSample(eng.TelemetrySample())
+		tel.PublishHealth(watch.Registry().Status(obs.SchemaVersion))
+		if err := tel.PublishTrace(tracer); err != nil {
+			d.log.Error("publish trace", "job", id, "err", err)
+		}
+	}
+
+	persist := func() error {
+		if err := sim.WriteCheckpointFile(ckptPath); err != nil {
+			return fmt.Errorf("writing checkpoint: %w", err)
+		}
+		js.Step = sim.StepCount()
+		js.Digest = fmt.Sprintf("%016x", sim.StateDigest())
+		js.Temperature = eng.Temperature()
+		js.TotalEnergy = eng.TotalEnergy()
+		return d.store.Put(js)
+	}
+
+	for sim.StepCount() < js.Spec.Steps {
+		// Daemon draining? A graceful stop persists the boundary we just
+		// reached; a kill persists nothing (the previous boundary's
+		// checkpoint is the resume point — that is the contract under
+		// test). Either way the job stays "running" on disk, which is
+		// what recovery re-queues.
+		select {
+		case <-d.ctx.Done():
+			if d.graceful.Load() {
+				if err := persist(); err != nil {
+					d.log.Error("drain checkpoint", "job", id, "err", err)
+				}
+			}
+			return
+		default:
+		}
+		if d.jobCanceled(id) {
+			if err := persist(); err != nil {
+				d.log.Error("cancel checkpoint", "job", id, "err", err)
+			}
+			d.finish(&js, StateCanceled, nil)
+			publish()
+			return
+		}
+		chunk := js.Spec.CheckpointEvery
+		if rem := js.Spec.Steps - sim.StepCount(); chunk > rem {
+			chunk = rem
+		}
+		sim.Step(chunk)
+		if sh != nil {
+			if err := sh.Err(); err != nil {
+				d.finish(&js, StateFailed, fmt.Errorf("sharded engine parked: %w", err))
+				return
+			}
+		}
+		if d.ctx.Err() != nil && !d.graceful.Load() {
+			// Killed mid-chunk: abandon this boundary unpersisted, exactly
+			// like a SIGKILL between checkpoint writes. The previous
+			// boundary's checkpoint is the resume point.
+			return
+		}
+		if err := persist(); err != nil {
+			d.finish(&js, StateFailed, err)
+			return
+		}
+		publish()
+	}
+
+	d.finish(&js, StateDone, nil)
+	publish()
+	d.log.Info("job finished", "job", id, "steps", js.Step, "digest", js.Digest)
+}
+
+// finish writes a terminal state. Persistence failures at this point can
+// only be logged — the job's checkpoint is still on disk, so a recovery
+// scan will re-run the tail idempotently.
+func (d *Daemon) finish(js *JobStatus, state JobState, cause error) {
+	js.State = state
+	js.FinishedAt = time.Now().UTC()
+	if cause != nil {
+		js.Error = cause.Error()
+		d.log.Error("job failed", "job", js.ID, "err", cause)
+	}
+	if err := d.store.Put(*js); err != nil {
+		d.log.Error("persist terminal state", "job", js.ID, "err", err)
+	}
+}

@@ -45,6 +45,28 @@ echo "== race: sharded virtual-node pipeline =="
 go test -race -run 'TestShardInvariance|TestShardCheckpointCrossShardCount' \
 	./internal/core
 
+echo "== race: telemetry lifecycle =="
+# The Telemetry shutdown/serve lifecycle is hit concurrently by the
+# daemon's per-job handlers: double Shutdown, Shutdown-before-Serve and
+# Serve-after-Shutdown must all be safe, and the TelemetrySet multiplexer
+# must route under concurrent access.
+go test -race -run 'TestTelemetryLifecycle|TestTelemetrySet' ./internal/obs
+
+echo "== race: service daemon (durability e2e) =="
+# The whole service package under the race detector, long tests included:
+# queue/store/auth units, the HTTP API e2e, and the two durability
+# contracts — kill-and-restart resumes from the last durable checkpoint,
+# graceful drain resumes from the stop boundary, both finishing bitwise
+# identical to an uninterrupted reference run.
+go test -race ./internal/service
+
+echo "== race: checkpoint file cross-shard resume =="
+# A checkpoint *file* written at 8 shards must resume at 1 and 64 shards
+# (and monolithically) onto the same trajectory — the persisted artifact
+# is decomposition-free, which is what lets antond resume any job on any
+# future configuration of the worker pool.
+go test -race -run 'TestCheckpointFileCrossShardResume' ./internal/core
+
 echo "== chaos: fault injection + recovery under race =="
 # A short seeded campaign through the reliable transport and the crash
 # supervisor: the quiet-plane run proves the protocol machinery is
