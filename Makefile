@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify serve bench-pair bench-mesh profile trace bench-obs shards chaos scaling
+.PHONY: build test test-short verify serve bench-pair bench-mesh profile trace bench-obs shards chaos scaling ledger bench-ledger
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,21 @@ bench-mesh:
 		-benchtime 100x ./internal/fft
 	$(GO) test -run '^$$' -bench 'BenchmarkMeshForces' \
 		-benchtime 3x ./internal/core
+
+# Provenance demo: run with a hash-chained ledger attached, then audit
+# it offline — verify the chain, locate the checkpoint, and replay the
+# run bitwise against its own recorded digests.
+ledger:
+	$(GO) run ./cmd/antonsim -system small -steps 200 \
+		-checkpoint run.ckpt -ledger run.ledger
+	$(GO) run ./cmd/antonaudit -ledger run.ledger -replay -1
+
+# Ledger-overhead run: baseline vs per-record-committed vs
+# Merkle-batched provenance on the DHFR hot path, regenerating the
+# committed BENCH_ledger.json record. The batched row's overhead is the
+# acceptance number.
+bench-ledger:
+	$(GO) run ./cmd/antonbench -ledger-json BENCH_ledger.json
 
 # Mesh strong-scaling run: steps/sec of the long-range mesh path across
 # GOMAXPROCS and shard counts at DHFR scale, regenerating the committed

@@ -153,6 +153,13 @@ var registry = []experiment{
 		}
 		return experiments.Chaos(steps)
 	}},
+	{"ledger", true, func(full bool) (string, error) {
+		steps := 24
+		if full {
+			steps = 120
+		}
+		return experiments.LedgerBench(steps)
+	}},
 	{"water", true, func(full bool) (string, error) {
 		steps, every := 160, 8
 		if full {
@@ -170,6 +177,7 @@ func main() {
 		shardsJSON  = flag.String("shards-json", "", "run the shard-scaling experiment and write its structured record to this file (the BENCH_shards.json generator)")
 		chaosJSON   = flag.String("chaos-json", "", "run the chaos-soak experiment and write its structured record to this file (the BENCH_chaos.json generator)")
 		scalingJSON = flag.String("meshscaling-json", "", "run the mesh strong-scaling experiment and write its structured record to this file (the BENCH_meshscaling.json generator)")
+		ledgerJSON  = flag.String("ledger-json", "", "run the ledger-overhead experiment and write its structured record to this file (the BENCH_ledger.json generator)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -184,6 +192,7 @@ func main() {
 		{"shard scaling record", *shardsJSON, 24, 120, experiments.ShardScalingJSON},
 		{"mesh scaling record", *scalingJSON, 6, 24, experiments.MeshScalingJSON},
 		{"chaos soak record", *chaosJSON, 60, 200, experiments.ChaosJSON},
+		{"ledger overhead record", *ledgerJSON, 24, 120, experiments.LedgerBenchJSON},
 	}
 	ranRecord := false
 	for _, r := range records {

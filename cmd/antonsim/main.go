@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,9 +45,11 @@ import (
 
 	"anton/internal/core"
 	"anton/internal/faults"
+	"anton/internal/ledger"
 	"anton/internal/machine"
 	"anton/internal/obs"
 	"anton/internal/obs/health"
+	"anton/internal/service"
 	"anton/internal/system"
 	"anton/internal/trace"
 )
@@ -80,6 +83,9 @@ func main() {
 		ckptPath       = flag.String("checkpoint", "", "write crash-consistent checkpoints to this file (periodic under -chaos, always flushed on exit)")
 		ckptEvery      = flag.Int("checkpoint-every", 0, "supervised checkpoint cadence in steps under -chaos (0 = library default)")
 		resumePath     = flag.String("resume", "", "resume from this checkpoint file (-steps becomes the total step target)")
+
+		ledgerPath  = flag.String("ledger", "", "append a hash-chained run ledger (digests, checkpoints, faults, alerts) to this file; audit it with antonaudit")
+		ledgerEvery = flag.Int("ledger-every", 0, "ledger digest cadence in steps (0 = library default, rounded to the MTS interval)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, *logFormat, *verbose)
@@ -183,6 +189,63 @@ func main() {
 		}
 	}
 
+	// Run ledger: an append-only, hash-chained provenance record of the
+	// run — config fingerprint, cadenced state digests, checkpoint writes,
+	// fault campaigns, recoveries, health alerts. A resumed run re-opens
+	// the existing chain, which audits it end to end first (a tampered
+	// ledger refuses cleanly); a fresh run opens with a genesis record.
+	// Attaching the ledger never perturbs the trajectory.
+	var lw *ledger.Writer
+	var tap *core.LedgerTap
+	if *ledgerPath != "" {
+		resuming := *resumePath != ""
+		if _, statErr := os.Stat(*ledgerPath); resuming && statErr == nil {
+			lw, err = ledger.Open(*ledgerPath, ledger.Options{})
+			if err != nil {
+				logger.Error("ledger audit on resume failed", "file", *ledgerPath, "err", err)
+				os.Exit(1)
+			}
+			if err := lw.AppendResume(eng.StepCount(), 1); err != nil {
+				logger.Error("ledger resume record", "err", err)
+				os.Exit(1)
+			}
+			logger.Info("ledger audited on resume", "file", *ledgerPath, "step", eng.StepCount())
+		} else {
+			lw, err = ledger.Create(*ledgerPath, ledger.Options{})
+			if err != nil {
+				logger.Error("create ledger", "file", *ledgerPath, "err", err)
+				os.Exit(1)
+			}
+			// The genesis spec is a service.JobSpec so antonaudit -replay
+			// can rebuild this run through the same constructor the daemon
+			// uses. antonsim seeds velocities with the fixed seed 2.
+			ens := "nvt"
+			if *temp <= 0 {
+				ens = "nve"
+			}
+			spec, _ := json.Marshal(service.JobSpec{
+				System: *name, Steps: *steps, Shards: *shards, Nodes: *nodes,
+				Ensemble: ens, Temperature: *temp, Seed: 2, Chaos: *chaosSpec,
+			})
+			if err := lw.AppendGenesis(ledger.Genesis{
+				Spec:        spec,
+				Fingerprint: eng.FingerprintHex(),
+				System:      s.Name,
+				Atoms:       s.NAtoms(),
+			}); err != nil {
+				logger.Error("ledger genesis", "err", err)
+				os.Exit(1)
+			}
+		}
+		defer func() {
+			if err := lw.Close(); err != nil {
+				logger.Error("close ledger", "err", err)
+			}
+		}()
+		tap = core.AttachLedger(eng, lw, *ledgerEvery)
+		logger.Info("run ledger attached", "file", *ledgerPath, "cadence", tap.Cadence())
+	}
+
 	// Fault injection: the chaos plane and the supervised recovery loop
 	// wrap the sharded pipeline (the monolithic engine has no transport to
 	// fault). The trajectory contract holds regardless of the campaign.
@@ -205,6 +268,14 @@ func main() {
 			Heartbeat:       *chaosHeartbeat,
 			CheckpointPath:  *ckptPath,
 			OnRecovery: func(ev core.RecoveryEvent) {
+				if lw != nil {
+					if err := lw.AppendRecovery(ledger.Recovery{
+						DetectedStep: ev.DetectedStep, RestoredStep: ev.RestoredStep,
+						Crashed: ev.Crashed, Adopted: ev.Adopted, Spurious: ev.Spurious,
+					}); err != nil {
+						logger.Error("ledger recovery record", "err", err)
+					}
+				}
 				if ev.Spurious {
 					logger.Warn("spurious recovery (stall outlasted the heartbeat)",
 						"step", ev.DetectedStep, "restored", ev.RestoredStep)
@@ -221,6 +292,12 @@ func main() {
 		}
 		logger.Info("fault injection armed", "spec", plane.Spec().String(),
 			"crashes", len(plane.Schedule()))
+		if lw != nil {
+			if err := lw.AppendFaults(int64(eng.StepCount()), sp.String(), sp.Seed); err != nil {
+				logger.Error("ledger faults record", "err", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	// Observability attachments. Everything below is read-only with
@@ -331,6 +408,14 @@ func main() {
 				logger.Log(context.Background(), lvl, "watchdog alert",
 					"monitor", a.Monitor, "severity", a.Severity.String(),
 					"step", a.Step, "value", a.Value, "threshold", a.Threshold)
+				if lw != nil {
+					if err := lw.AppendAlert(a.Step, ledger.Alert{
+						Monitor: a.Monitor, Severity: a.Severity.String(),
+						Value: a.Value, Threshold: a.Threshold, Message: a.Message,
+					}); err != nil {
+						logger.Error("ledger alert record", "err", err)
+					}
+				}
 			}
 		}
 		publish()
@@ -348,7 +433,20 @@ func main() {
 			logger.Error("final checkpoint", "err", err)
 		} else {
 			logger.Info("final checkpoint flushed", "file", *ckptPath, "step", eng.StepCount())
+			if tap != nil {
+				if err := tap.RecordCheckpoint(*ckptPath); err != nil {
+					logger.Error("ledger checkpoint record", "err", err)
+				}
+			}
 		}
+	}
+	if tap != nil {
+		if err := tap.Err(); err != nil {
+			logger.Error("ledger append failed during the run", "err", err)
+		}
+		st := lw.Stats()
+		fmt.Printf("\nrun ledger %s: %d records, %d commits, %d bytes (audit with antonaudit)\n",
+			*ledgerPath, st.Records, st.Commits, st.Bytes)
 	}
 	if tel != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

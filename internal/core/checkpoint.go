@@ -84,6 +84,23 @@ func (e *Engine) fingerprint() configFingerprint {
 	}
 }
 
+// FingerprintHex returns a stable hex digest of the engine's
+// configuration fingerprint — the same quantity checkpoint restores
+// validate (dt, cutoff, mesh, fixed-point quanta, box, topology hash).
+// The run ledger records it in its genesis record, so an auditor can
+// prove a replay was configured identically before comparing state
+// digests.
+func (e *Engine) FingerprintHex() string {
+	fp := e.fingerprint()
+	h := fnv.New64a()
+	// configFingerprint is fixed-size (see ckptFingerprintLen), so the
+	// binary encoding — and therefore this digest — is stable.
+	if err := binary.Write(h, binary.LittleEndian, fp); err != nil {
+		panic(err) // unreachable: fixed-size struct of scalar fields
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // topologyHash digests the interaction terms with FNV-1a 64. Parameter
 // values are hashed as their exact IEEE-754 bit patterns: any edit to a
 // force constant, charge, or connectivity changes the hash.

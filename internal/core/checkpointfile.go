@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
@@ -94,6 +96,32 @@ func (e *Engine) RestoreCheckpointFile(path string) error {
 	}
 	defer f.Close()
 	return e.RestoreCheckpoint(f)
+}
+
+// CheckpointFileCRC reads the checkpoint at path, validates its
+// trailing CRC32 (format v2 only — v1 files carry no checksum), and
+// returns the stored value. The run ledger records it alongside each
+// checkpoint write, so an audit can prove the file on disk is the one
+// the ledger describes without re-deriving any state.
+func CheckpointFileCRC(path string) (uint32, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < ckptHeaderLen+ckptCRCLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrCheckpointTruncated, len(b))
+	}
+	if magic := binary.LittleEndian.Uint32(b); magic != checkpointMagic {
+		return 0, fmt.Errorf("%w: %#x", ErrCheckpointMagic, magic)
+	}
+	if ver := binary.LittleEndian.Uint32(b[4:]); ver != checkpointVersion {
+		return 0, fmt.Errorf("%w: %d (no CRC trailer)", ErrCheckpointVersion, ver)
+	}
+	stored := binary.LittleEndian.Uint32(b[len(b)-ckptCRCLen:])
+	if crc := crc32.ChecksumIEEE(b[:len(b)-ckptCRCLen]); crc != stored {
+		return 0, fmt.Errorf("%w: crc %#x, stored %#x", ErrCheckpointCorrupt, crc, stored)
+	}
+	return stored, nil
 }
 
 // WriteCheckpointFile / RestoreCheckpointFile delegate like the stream

@@ -192,6 +192,12 @@ type Engine struct {
 	// with respect to dynamics state.
 	onStep func()
 
+	// stepHooks are additional end-of-step observers (the run-ledger tap
+	// and friends), run after onStep. Same read-only contract; kept
+	// separate from onStep so attaching a ledger cannot displace a watch
+	// and vice versa.
+	stepHooks []func()
+
 	// laneFn overrides the tracer's per-node lane refresh (nil = the
 	// analytic model of tracewire.go). The sharded runtime installs its
 	// measured-schedule builder here.
@@ -454,6 +460,29 @@ func (e *Engine) Tracer() *obs.Tracer { return e.trc }
 // and must not mutate dynamics state.
 func (e *Engine) OnStep(fn func()) { e.onStep = fn }
 
+// AddStepHook appends an additional end-of-step observer, preserving
+// any hook installed with OnStep (watchdogs and the run-ledger tap
+// coexist this way). Hooks run in attachment order after OnStep's, in
+// both the monolithic and the sharded step loop, and must not mutate
+// dynamics state. There is deliberately no removal: taps live for the
+// engine's lifetime, like the recorder and tracer.
+func (e *Engine) AddStepHook(fn func()) {
+	if fn != nil {
+		e.stepHooks = append(e.stepHooks, fn)
+	}
+}
+
+// runStepHooks fires the end-of-step observers (shared by the
+// monolithic and sharded step loops).
+func (e *Engine) runStepHooks() {
+	if e.onStep != nil {
+		e.onStep()
+	}
+	for _, fn := range e.stepHooks {
+		fn()
+	}
+}
+
 // MigrationSlack returns the residency slack: how far an atom may drift
 // from its assigned subbox between migrations before correctness demands
 // an early re-migration. Diagnostics compare the measured per-interval
@@ -635,9 +664,7 @@ func (e *Engine) stepOnce() {
 	if e.trc != nil {
 		e.trc.StepDone(int64(e.step))
 	}
-	if e.onStep != nil {
-		e.onStep()
-	}
+	e.runStepHooks()
 }
 
 // driftCoeff returns the velocity-counts-to-position-counts conversion

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"anton/internal/ledger"
+	"anton/internal/obs"
+)
+
+// LedgerTap cadences trajectory-digest records from a running engine
+// into a run ledger. Like the health watch, it hooks the end-of-step
+// callback and is strictly read-only with respect to dynamics state:
+// the trajectory is bitwise identical with a ledger attached or
+// detached (test-asserted over migration-crossing steps).
+//
+// The cadence is rounded up to a multiple of the MTS interval, for the
+// same reason the watch's is: digests are a trajectory identity at a
+// step, and aligning them to the long-range refresh cycle keeps every
+// recorded step comparable across runs whose MTS phase matters — and
+// keeps the O(N) digest pass off the majority of steps.
+type LedgerTap struct {
+	e       *Engine
+	w       *ledger.Writer
+	cadence int
+
+	// prev holds the writer's counters at the last fold, so the tap can
+	// delta-fold them into the (add-only) obs recorder.
+	prev ledger.Stats
+
+	err error
+}
+
+// defaultLedgerCadence is used for non-positive cadences: sparse enough
+// that the O(N) digest pass is noise against a full step, frequent
+// enough that any prefix of a long run has a nearby audit point.
+const defaultLedgerCadence = 10
+
+// AttachLedger installs a ledger tap on the engine: every cadence steps
+// (rounded up to the MTS interval) it appends a digest record to w. The
+// caller owns the writer (and closes it); the tap owns only the
+// cadence. Works identically under sharded execution — the sharded
+// step loop fires the same end-of-step hooks, and StateDigest is
+// shard-count independent.
+func AttachLedger(e *Engine, w *ledger.Writer, cadence int) *LedgerTap {
+	if cadence <= 0 {
+		cadence = defaultLedgerCadence
+	}
+	if m := e.Cfg.MTSInterval; m > 1 && cadence%m != 0 {
+		cadence += m - cadence%m
+	}
+	t := &LedgerTap{e: e, w: w, cadence: cadence, prev: w.Stats()}
+	e.AddStepHook(t.tick)
+	return t
+}
+
+// Cadence returns the effective digest cadence after default
+// substitution and MTS rounding.
+func (t *LedgerTap) Cadence() int { return t.cadence }
+
+// Err returns the first append failure. A dead ledger never stops the
+// simulation — provenance is an audit trail, not a control path — but
+// the error is latched so the driver can surface it and fail the job's
+// audit.
+func (t *LedgerTap) Err() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Err()
+}
+
+// Writer returns the tap's underlying ledger writer.
+func (t *LedgerTap) Writer() *ledger.Writer { return t.w }
+
+// RecordCheckpoint appends a checkpoint record for a file the driver
+// just wrote: the checkpoint's own CRC32 trailer is read back (which
+// also validates it) and recorded with the digest at the current step.
+func (t *LedgerTap) RecordCheckpoint(path string) error {
+	crc, err := CheckpointFileCRC(path)
+	if err != nil {
+		return err
+	}
+	return t.w.AppendCheckpoint(int64(t.e.step), path, crc, t.e.StateDigest())
+}
+
+// tick runs after every completed step; on the cadence it appends one
+// digest record and folds the writer's volume counters into the obs
+// recorder.
+func (t *LedgerTap) tick() {
+	e := t.e
+	if e.step%t.cadence != 0 {
+		return
+	}
+	if err := t.w.AppendDigest(int64(e.step), e.StateDigest()); err != nil && t.err == nil {
+		t.err = err
+	}
+	if rec := e.rec; rec != nil {
+		st := t.w.Stats()
+		rec.Add(obs.CtrLedgerRecords, st.Records-t.prev.Records)
+		rec.Add(obs.CtrLedgerCommits, st.Commits-t.prev.Commits)
+		rec.Add(obs.CtrLedgerBytes, st.Bytes-t.prev.Bytes)
+		t.prev = st
+	}
+}

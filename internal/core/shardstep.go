@@ -135,9 +135,7 @@ func (s *Sharded) stepOnce() *stageFail {
 	if e.trc != nil {
 		e.trc.StepDone(int64(e.step))
 	}
-	if e.onStep != nil {
-		e.onStep()
-	}
+	e.runStepHooks()
 	return nil
 }
 

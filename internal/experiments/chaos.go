@@ -37,12 +37,15 @@ type ChaosRow struct {
 
 // ChaosData is the structured result of the chaos-soak experiment.
 type ChaosData struct {
-	Schema string     `json:"schema"`
-	System string     `json:"system"`
-	Atoms  int        `json:"atoms"`
-	Steps  int        `json:"steps"`
-	Spec   string     `json:"spec"`
-	Rows   []ChaosRow `json:"rows"`
+	Schema string `json:"schema"`
+	System string `json:"system"`
+	Atoms  int    `json:"atoms"`
+	Steps  int    `json:"steps"`
+	Spec   string `json:"spec"`
+	// StateDigest is the fault-free reference trajectory's final state
+	// digest — the identity every faulted run must reproduce bitwise.
+	StateDigest string     `json:"state_digest"`
+	Rows        []ChaosRow `json:"rows"`
 }
 
 // chaosCampaignSpec is the experiment's standard fault mix: every fault
@@ -106,10 +109,11 @@ func chaosData(steps int) (*ChaosData, error) {
 	}
 
 	// The acceptance bar: the fault-free monolithic trajectory.
-	refP, refV, err := shardReference(steps)
+	refP, refV, refDigest, err := shardReference(steps)
 	if err != nil {
 		return nil, err
 	}
+	d.StateDigest = refDigest
 
 	for _, shards := range []int{1, 8, 64} {
 		sys, err := system.Small(true, 21)

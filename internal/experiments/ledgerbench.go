@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"anton/internal/core"
+	"anton/internal/ledger"
+	"anton/internal/obs"
+	"anton/internal/system"
+)
+
+// LedgerBenchRow is one provenance mode's measurements in the
+// ledger-overhead experiment: the same DHFR trajectory stepped with no
+// ledger (baseline), a per-record-committed ledger (direct, Batch=1),
+// and a Merkle-batched ledger (Batch=DefaultBatch).
+type LedgerBenchRow struct {
+	Mode        string  `json:"mode"`  // baseline | direct | batched
+	Batch       int     `json:"batch"` // 0 = no ledger attached
+	WallMs      float64 `json:"wall_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// OverheadPct is this mode's wall-time overhead versus baseline —
+	// the headline number the Merkle batching must keep under the
+	// acceptance bar.
+	OverheadPct float64 `json:"overhead_pct"`
+	// BitwiseMatch verifies the zero-perturbation contract: the final
+	// state digest equals the baseline run's.
+	BitwiseMatch bool  `json:"bitwise_match"`
+	Records      int64 `json:"records"`
+	Commits      int64 `json:"commits"`
+	LedgerBytes  int64 `json:"ledger_bytes"`
+}
+
+// LedgerBenchData is the structured record of the ledger-overhead
+// experiment (the BENCH_ledger.json artifact): the cost of hash-chained
+// provenance on the DHFR hot path, with Merkle batching amortizing the
+// commit fsyncs that make direct mode expensive.
+type LedgerBenchData struct {
+	Schema  string `json:"schema"`
+	System  string `json:"system"`
+	Atoms   int    `json:"atoms"`
+	Steps   int    `json:"steps"`
+	Cadence int    `json:"cadence"` // digest record every this many steps
+	Reps    int    `json:"reps"`    // best-of-N wall times per mode
+	// StateDigest is the baseline run's final state digest — the
+	// identity every ledgered row's bitwise_match is judged against.
+	StateDigest string           `json:"state_digest"`
+	Note        string           `json:"note"`
+	Rows        []LedgerBenchRow `json:"rows"`
+}
+
+// ledgerBenchCadence keeps the digest stream dense enough that the
+// overhead being measured is real (several records per commit in
+// batched mode over a full run) without dominating short CI runs.
+const ledgerBenchCadence = 2
+
+// LedgerBench runs the ledger-overhead experiment and renders the
+// plain-text report.
+func LedgerBench(steps int) (string, error) {
+	d, err := ledgerBenchData(steps)
+	if err != nil {
+		return "", err
+	}
+	return renderLedgerBench(d), nil
+}
+
+// LedgerBenchJSON runs the ledger-overhead experiment and returns the
+// structured record as indented JSON — the generator of the committed
+// BENCH_ledger.json artifact (make bench-ledger).
+func LedgerBenchJSON(steps int) ([]byte, error) {
+	d, err := ledgerBenchData(steps)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func ledgerBenchData(steps int) (*LedgerBenchData, error) {
+	s, err := system.ByName("DHFR")
+	if err != nil {
+		return nil, err
+	}
+	reps := 3
+	if steps <= 8 {
+		reps = 1 // keep package tests fast; the committed artifact uses 3
+	}
+	d := &LedgerBenchData{
+		Schema:  obs.SchemaVersion,
+		System:  s.Name,
+		Atoms:   s.NAtoms(),
+		Steps:   steps,
+		Cadence: ledgerBenchCadence,
+		Reps:    reps,
+		Note: "wall times are best-of-reps on one host; direct mode commits " +
+			"and fsyncs every record, batched mode seals a Merkle root every " +
+			fmt.Sprintf("%d", ledger.DefaultBatch) + " records — the overhead " +
+			"column is what provenance costs the hot path",
+	}
+
+	dir, err := os.MkdirTemp("", "ledgerbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	modes := []struct {
+		name  string
+		batch int // 0 = no ledger
+	}{
+		{"baseline", 0},
+		{"direct", 1},
+		{"batched", ledger.DefaultBatch},
+	}
+	// Reps are interleaved round-robin across modes: a one-host
+	// measurement drifts over minutes, and running each mode's reps
+	// back-to-back would book that drift as mode overhead. Round-robin
+	// puts every mode in every time window; best-of then discards the
+	// slow windows for each mode independently.
+	best := make([]time.Duration, len(modes))
+	digest := make([]string, len(modes))
+	stats := make([]ledger.Stats, len(modes))
+	for rep := 0; rep < reps; rep++ {
+		for i, m := range modes {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.ledger", m.name, rep))
+			wall, dg, st, err := ledgerBenchRun(s, steps, m.batch, path)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || wall < best[i] {
+				best[i] = wall
+			}
+			digest[i], stats[i] = dg, st
+			if m.batch > 0 {
+				if _, err := ledger.VerifyFile(path); err != nil {
+					return nil, fmt.Errorf("experiments: %s-mode ledger failed verification: %w", m.name, err)
+				}
+			}
+			// Each run rebuilds the system so force tables and neighbor
+			// structures never warm across modes.
+			if s, err = system.ByName("DHFR"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.StateDigest = digest[0]
+	for i, m := range modes {
+		row := LedgerBenchRow{
+			Mode:         m.name,
+			Batch:        m.batch,
+			WallMs:       float64(best[i].Nanoseconds()) / 1e6,
+			StepsPerSec:  float64(steps) / best[i].Seconds(),
+			BitwiseMatch: digest[i] == d.StateDigest,
+			Records:      stats[i].Records,
+			Commits:      stats[i].Commits,
+			LedgerBytes:  stats[i].Bytes,
+		}
+		if i > 0 {
+			row.OverheadPct = 100 * (row.WallMs - d.Rows[0].WallMs) / d.Rows[0].WallMs
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// ledgerBenchRun steps one DHFR configuration, with a ledger tap
+// attached when batch > 0, and returns the wall time, final state
+// digest and ledger output stats.
+func ledgerBenchRun(s *system.System, steps, batch int, path string) (time.Duration, string, ledger.Stats, error) {
+	e, err := core.NewEngine(s, core.DefaultConfig(512))
+	if err != nil {
+		return 0, "", ledger.Stats{}, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
+
+	var lw *ledger.Writer
+	if batch > 0 {
+		lw, err = ledger.Create(path, ledger.Options{Batch: batch})
+		if err != nil {
+			return 0, "", ledger.Stats{}, err
+		}
+		if err := lw.AppendGenesis(ledger.Genesis{
+			Fingerprint: e.FingerprintHex(),
+			System:      s.Name,
+			Atoms:       s.NAtoms(),
+		}); err != nil {
+			return 0, "", ledger.Stats{}, err
+		}
+		core.AttachLedger(e, lw, ledgerBenchCadence)
+	}
+
+	start := time.Now()
+	e.Step(steps)
+	wall := time.Since(start)
+
+	var st ledger.Stats
+	if lw != nil {
+		if err := lw.Close(); err != nil {
+			return 0, "", ledger.Stats{}, err
+		}
+		st = lw.Stats()
+	}
+	return wall, fmt.Sprintf("%016x", e.StateDigest()), st, nil
+}
+
+// renderLedgerBench formats the structured record as the experiment's
+// plain-text report.
+func renderLedgerBench(d *LedgerBenchData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run-ledger overhead (%s, %d atoms, %d steps, digest every %d steps, best of %d):\n",
+		d.System, d.Atoms, d.Steps, d.Cadence, d.Reps)
+	fmt.Fprintf(&b, "%9s %6s %9s %9s %9s %8s %8s %9s  %s\n",
+		"mode", "batch", "wall ms", "steps/s", "overhead", "records", "commits", "bytes", "bitwise")
+	for _, r := range d.Rows {
+		match := "match"
+		if !r.BitwiseMatch {
+			match = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "%9s %6d %9.1f %9.3f %8.2f%% %8d %8d %9d  %s\n",
+			r.Mode, r.Batch, r.WallMs, r.StepsPerSec, r.OverheadPct,
+			r.Records, r.Commits, r.LedgerBytes, match)
+	}
+	fmt.Fprintf(&b, "(%s)\n", d.Note)
+	return b.String()
+}

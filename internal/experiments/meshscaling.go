@@ -45,9 +45,12 @@ type MeshScalingData struct {
 	Atoms    int              `json:"atoms"`
 	Mesh     int              `json:"mesh"`
 	Steps    int              `json:"steps"`
-	HostCPUs int              `json:"host_cpus"`
-	Note     string           `json:"note"`
-	Rows     []MeshScalingRow `json:"rows"`
+	HostCPUs int    `json:"host_cpus"`
+	Note     string `json:"note"`
+	// StateDigest is the reference run's final state digest — the
+	// trajectory identity every row's bitwise_match is judged against.
+	StateDigest string           `json:"state_digest"`
+	Rows        []MeshScalingRow `json:"rows"`
 }
 
 // MeshScaling runs the mesh strong-scaling experiment and renders the
@@ -119,13 +122,14 @@ func meshScalingData(steps int) (*MeshScalingData, error) {
 	for _, gmp := range gmps {
 		runtime.GOMAXPROCS(gmp)
 		for _, shards := range []int{0, 1, 8} {
-			row, p, v, err := meshScalingRun(steps, gmp, shards)
+			row, p, v, digest, err := meshScalingRun(steps, gmp, shards)
 			if err != nil {
 				return nil, err
 			}
 			if refP == nil {
 				refP, refV = p, v
 				baseWall = time.Duration(row.WallMs * 1e6)
+				d.StateDigest = digest
 			}
 			row.BitwiseMatch = bitwiseState(p, v, refP, refV)
 			row.Speedup = baseWall.Seconds() / (row.WallMs / 1e3)
@@ -135,37 +139,38 @@ func meshScalingData(steps int) (*MeshScalingData, error) {
 	return d, nil
 }
 
-// meshScalingRun steps one configuration and returns its row and final
-// state. Shards == 0 runs the monolithic engine; otherwise the sharded
-// pipeline with that many virtual nodes.
-func meshScalingRun(steps, gmp, shards int) (*MeshScalingRow, []fixp.Vec3, []core.Vel3, error) {
+// meshScalingRun steps one configuration and returns its row, final
+// state, and state digest. Shards == 0 runs the monolithic engine;
+// otherwise the sharded pipeline with that many virtual nodes.
+func meshScalingRun(steps, gmp, shards int) (*MeshScalingRow, []fixp.Vec3, []core.Vel3, string, error) {
 	s, err := system.ByName("DHFR")
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, "", err
 	}
 	workers := gmp
 	rec := obs.NewRecorder()
 	var stepFn func(int)
 	var snapFn func() ([]fixp.Vec3, []core.Vel3)
+	var digFn func() uint64
 	if shards == 0 {
 		e, err := core.NewEngine(s, meshScalingConfig(512, workers))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		rng := rand.New(rand.NewSource(7))
 		e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 		e.Observe(rec)
-		stepFn, snapFn = e.Step, e.Snapshot
+		stepFn, snapFn, digFn = e.Step, e.Snapshot, e.StateDigest
 	} else {
 		sh, err := core.NewSharded(s, meshScalingConfig(shards, workers))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		defer sh.Close()
 		rng := rand.New(rand.NewSource(7))
 		sh.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 		sh.Observe(rec)
-		stepFn, snapFn = sh.Step, sh.Snapshot
+		stepFn, snapFn, digFn = sh.Step, sh.Snapshot, sh.StateDigest
 	}
 
 	start := time.Now()
@@ -183,7 +188,7 @@ func meshScalingRun(steps, gmp, shards int) (*MeshScalingRow, []fixp.Vec3, []cor
 		SpreadMsPerEval: mp.SpreadMsPerEval,
 		FFTMsPerEval:    mp.FFTMsPerEval,
 		InterpMsPerEval: mp.InterpMsPerEval,
-	}, p, v, nil
+	}, p, v, fmt.Sprintf("%016x", digFn()), nil
 }
 
 func bitwiseState(p []fixp.Vec3, v []core.Vel3, refP []fixp.Vec3, refV []core.Vel3) bool {

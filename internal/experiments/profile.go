@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"anton/internal/core"
+	"anton/internal/ledger"
 	"anton/internal/machine"
 	"anton/internal/obs"
 	"anton/internal/system"
@@ -33,6 +36,10 @@ type ProfileData struct {
 	Atoms  int    `json:"atoms"`
 	Steps  int    `json:"steps"`
 	Nodes  int    `json:"nodes"`
+	// StateDigest is the run's final state digest (%016x of
+	// core.Sim.StateDigest): the trajectory identity of the exact run
+	// this record profiles, auditable against a run ledger.
+	StateDigest string `json:"state_digest"`
 
 	Groups []PhaseGroupProfile `json:"phase_groups"`
 
@@ -47,6 +54,14 @@ type ProfileData struct {
 
 	ForcedMigrations int64 `json:"forced_migrations"`
 	TotalMigrations  int64 `json:"total_migrations"`
+
+	// Ledger counters from the run's attached provenance ledger
+	// (DESIGN §15): the profiled run is itself ledgered, so the record
+	// carries what its own provenance cost in records, commits and
+	// bytes.
+	LedgerRecords int64 `json:"ledger_records"`
+	LedgerCommits int64 `json:"ledger_commits"`
+	LedgerBytes   int64 `json:"ledger_bytes"`
 
 	MemTracked     bool    `json:"mem_tracked"`
 	MallocsPerStep float64 `json:"mallocs_per_step,omitempty"`
@@ -116,6 +131,28 @@ func profileData(s *system.System, steps, nodes int) (*ProfileData, error) {
 	rec.EnableMemStats()
 	e.Observe(rec)
 
+	// The profiled run carries its own provenance ledger (batched mode,
+	// discarded afterwards) so the obs ledger counters in the record are
+	// measured, not zero.
+	ldir, err := os.MkdirTemp("", "profileledger")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(ldir)
+	lw, err := ledger.Create(filepath.Join(ldir, "profile.ledger"), ledger.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer lw.Close()
+	if err := lw.AppendGenesis(ledger.Genesis{
+		Fingerprint: e.FingerprintHex(),
+		System:      s.Name,
+		Atoms:       s.NAtoms(),
+	}); err != nil {
+		return nil, err
+	}
+	core.AttachLedger(e, lw, 0)
+
 	// Record one frame per migration interval, so the trajectory's
 	// per-frame minimum-image displacement is exactly the drift the
 	// residency slack must absorb.
@@ -134,6 +171,10 @@ func profileData(s *system.System, steps, nodes int) (*ProfileData, error) {
 			return nil, err
 		}
 	}
+	if err := lw.Close(); err != nil {
+		return nil, err
+	}
+	lst := lw.Stats()
 	snap := rec.Snapshot()
 
 	// The machine model's prediction for the same workload on a small
@@ -179,12 +220,13 @@ func profileData(s *system.System, steps, nodes int) (*ProfileData, error) {
 	}
 
 	d := &ProfileData{
-		Schema: obs.SchemaVersion,
-		System: s.Name,
-		Atoms:  s.NAtoms(),
-		Steps:  steps,
-		Nodes:  nodes,
-		Groups: groups,
+		Schema:      obs.SchemaVersion,
+		System:      s.Name,
+		Atoms:       s.NAtoms(),
+		Steps:       steps,
+		Nodes:       nodes,
+		StateDigest: fmt.Sprintf("%016x", e.StateDigest()),
+		Groups:      groups,
 
 		MatchEfficiencyMeasured: snap.MatchEfficiency,
 		MatchEfficiencyModel:    pred.MatchEfficiency,
@@ -197,6 +239,10 @@ func profileData(s *system.System, steps, nodes int) (*ProfileData, error) {
 
 		ForcedMigrations: snap.Counters[obs.CtrResidencyMigrations].Value,
 		TotalMigrations:  snap.Counters[obs.CtrMigrations].Value,
+
+		LedgerRecords: lst.Records,
+		LedgerCommits: lst.Commits,
+		LedgerBytes:   lst.Bytes,
 
 		MemTracked: snap.Mem.Tracked,
 	}
@@ -229,6 +275,8 @@ func renderProfile(d *ProfileData) string {
 		d.MigrationDriftA, d.MigrationInterval, d.ResidencySlackA,
 		100*(d.ResidencySlackA-d.MigrationDriftA)/d.ResidencySlackA)
 	fmt.Fprintf(&b, "forced early migrations: %d of %d\n", d.ForcedMigrations, d.TotalMigrations)
+	fmt.Fprintf(&b, "provenance: %d ledger records, %d commits, %d bytes (batched mode)\n",
+		d.LedgerRecords, d.LedgerCommits, d.LedgerBytes)
 	if d.MemTracked {
 		fmt.Fprintf(&b, "allocations: %.1f/step (%d GCs over the run)\n",
 			d.MallocsPerStep, d.NumGC)

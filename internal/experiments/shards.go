@@ -44,11 +44,16 @@ type ShardScalingRow struct {
 // communication totals are what a real machine of that node count would
 // have to carry for this system.
 type ShardScalingData struct {
-	Schema string            `json:"schema"`
-	System string            `json:"system"`
-	Atoms  int               `json:"atoms"`
-	Steps  int               `json:"steps"`
-	Rows   []ShardScalingRow `json:"rows"`
+	Schema string `json:"schema"`
+	System string `json:"system"`
+	Atoms  int    `json:"atoms"`
+	Steps  int    `json:"steps"`
+	// StateDigest is the reference trajectory's final state digest
+	// (%016x of core.Sim.StateDigest) — the identity every row's
+	// bitwise_match column is judged against, and the hook for auditing
+	// a regenerated record against a run ledger.
+	StateDigest string            `json:"state_digest"`
+	Rows        []ShardScalingRow `json:"rows"`
 }
 
 // ShardScaling runs the shard-scaling experiment and renders the
@@ -89,10 +94,11 @@ func shardScalingData(steps int) (*ShardScalingData, error) {
 	}
 
 	// Monolithic reference trajectory for the bitwise-invariance column.
-	refP, refV, err := shardReference(steps)
+	refP, refV, refDigest, err := shardReference(steps)
 	if err != nil {
 		return nil, err
 	}
+	d.StateDigest = refDigest
 
 	for _, shards := range []int{1, 8, 64, 512} {
 		sys, err := system.Small(true, 21)
@@ -147,21 +153,21 @@ func shardScalingData(steps int) (*ShardScalingData, error) {
 }
 
 // shardReference runs the monolithic engine with the experiment's initial
-// conditions and returns its final state.
-func shardReference(steps int) ([]fixp.Vec3, []core.Vel3, error) {
+// conditions and returns its final state and state digest.
+func shardReference(steps int) ([]fixp.Vec3, []core.Vel3, string, error) {
 	s, err := system.Small(true, 21)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	e, err := core.NewEngine(s, core.DefaultConfig(1))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	rng := rand.New(rand.NewSource(33))
 	e.SetVelocities(system.InitVelocities(s.Top, 300, rng))
 	e.Step(steps)
 	rp, rv := e.Snapshot()
-	return rp, rv, nil
+	return rp, rv, fmt.Sprintf("%016x", e.StateDigest()), nil
 }
 
 // renderShardScaling formats the structured record as the experiment's

@@ -1,0 +1,51 @@
+package ledger
+
+import "crypto/sha256"
+
+// Merkle batching follows the audit-log idiom: the leaves are the batch
+// records' chain hashes, interior nodes are SHA-256 over the
+// concatenation of their children with a domain-separating prefix, and
+// an odd node at any level is promoted unchanged (no duplication, so a
+// single-leaf batch's root is its leaf hash under the leaf prefix).
+// Domain separation (distinct leaf/node prefixes) blocks the classic
+// second-preimage trick of reinterpreting an interior node as a leaf.
+
+var (
+	merkleLeafPrefix = []byte{0x00}
+	merkleNodePrefix = []byte{0x01}
+)
+
+// MerkleRoot computes the batch root over the given leaf values (record
+// hashes, raw bytes). It is a pure function of the leaf sequence:
+// deterministic across runs, processes and platforms. A nil/empty input
+// returns the hash of the empty leaf set (a defined, stable value) so
+// callers never branch on emptiness.
+func MerkleRoot(leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		sum := sha256.Sum256(merkleLeafPrefix)
+		return sum[:]
+	}
+	level := make([][]byte, len(leaves))
+	for i, l := range leaves {
+		h := sha256.New()
+		h.Write(merkleLeafPrefix)
+		h.Write(l)
+		level[i] = h.Sum(nil)
+	}
+	for len(level) > 1 {
+		next := make([][]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			h := sha256.New()
+			h.Write(merkleNodePrefix)
+			h.Write(level[i])
+			h.Write(level[i+1])
+			next = append(next, h.Sum(nil))
+		}
+		level = next
+	}
+	return level[0]
+}

@@ -1,0 +1,271 @@
+package ledger
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Verification walks the whole file and proves three independent
+// properties, failing with the exact offending record on the first
+// violation:
+//
+//  1. chain integrity — every record's Prev matches the previous
+//     line's raw-byte hash, and seqs are dense and in order. Flipping
+//     any byte of any record changes its line hash and breaks the
+//     chain at its successor;
+//  2. batch integrity — every commit record's Merkle root matches the
+//     root recomputed over its batch's line hashes, its seq range is
+//     exactly the records since the previous commit, and the roots
+//     chain through PrevRoot;
+//  3. head agreement — the atomic head sidecar (when present) names a
+//     commit record the file actually contains, with the same line
+//     hash and root. This pins the *final* line too (no successor
+//     exists to catch a flip there), and fails a file whose committed
+//     tail was truncated or rewritten even when what remains is
+//     internally consistent.
+//
+// Records after the last commit are reported as uncommitted rather than
+// verified-committed: a crash may legitimately tear them.
+
+// ErrVerify tags every verification failure.
+var ErrVerify = errors.New("ledger: verification failed")
+
+// Report summarizes a successful verification.
+type Report struct {
+	Records   uint64 // total complete records (commits included)
+	Commits   uint64 // commit records verified
+	Committed uint64 // records sealed under a verified Merkle root
+	Pending   uint64 // complete records after the last commit
+	TornTail  bool   // an incomplete final line was present (and ignored)
+
+	// GoodBytes is the byte length of the complete-record prefix — what
+	// Open truncates to before appending.
+	GoodBytes int64
+
+	// TipHash/TipRoot are the chain tip (last line's hash) and the last
+	// committed Merkle root; Open seeds a resuming writer with them.
+	TipHash string
+	TipRoot string
+
+	// UncommittedHashes are the line hashes of the pending records, in
+	// order; Open re-enqueues them for the next commit.
+	UncommittedHashes []string
+}
+
+// failf builds a verification error that names the offending record.
+func failf(seq uint64, kind Kind, format string, args ...any) error {
+	return fmt.Errorf("%w: record %d (%s): %s", ErrVerify, seq, kind,
+		fmt.Sprintf(format, args...))
+}
+
+// Verify checks the chain, the Merkle commits and the root chain over
+// an in-memory record sequence with its line hashes (as returned by
+// ReadAll). Head agreement is checked by VerifyFile.
+func Verify(recs []Record, hashes []string) (*Report, error) {
+	if len(recs) != len(hashes) {
+		return nil, fmt.Errorf("%w: %d records with %d hashes", ErrVerify, len(recs), len(hashes))
+	}
+	rep := &Report{}
+	prevHash := ""
+	prevRoot := ""
+	var batchStart uint64 // seq of the first record in the open batch
+	var pending []string
+	digests := make(map[int64]string) // step -> digest (replay consistency)
+
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			return nil, failf(uint64(i), r.Kind, "sequence %d out of order", r.Seq)
+		}
+		if r.Prev != prevHash {
+			return nil, failf(r.Seq, r.Kind, "chain break: prev %.12s, want %.12s", r.Prev, prevHash)
+		}
+		prevHash = hashes[i]
+
+		switch r.Kind {
+		case KindCommit:
+			c := r.Commit
+			if c == nil {
+				return nil, failf(r.Seq, r.Kind, "missing commit payload")
+			}
+			if len(pending) == 0 {
+				return nil, failf(r.Seq, r.Kind, "commit over an empty batch")
+			}
+			if c.First != batchStart || c.Last != r.Seq-1 {
+				return nil, failf(r.Seq, r.Kind, "batch range [%d,%d], want [%d,%d]",
+					c.First, c.Last, batchStart, r.Seq-1)
+			}
+			if c.PrevRoot != prevRoot {
+				return nil, failf(r.Seq, r.Kind, "root chain break: prev_root %.12s, want %.12s",
+					c.PrevRoot, prevRoot)
+			}
+			leaves := make([][]byte, len(pending))
+			for j, hx := range pending {
+				b, err := hex.DecodeString(hx)
+				if err != nil {
+					return nil, failf(r.Seq, r.Kind, "batch leaf %d: %v", j, err)
+				}
+				leaves[j] = b
+			}
+			if root := hex.EncodeToString(MerkleRoot(leaves)); root != c.Root {
+				return nil, failf(r.Seq, r.Kind, "merkle root mismatch over batch [%d,%d]: stored %.12s, computed %.12s",
+					c.First, c.Last, c.Root, root)
+			}
+			prevRoot = c.Root
+			rep.Commits++
+			rep.Committed += uint64(len(pending))
+			pending = pending[:0]
+			batchStart = r.Seq + 1
+
+		case KindDigest, KindCheckpoint:
+			// Replay consistency: a resumed run re-records digests for
+			// steps it replays; determinism demands they agree.
+			d := r.Digest
+			if r.Kind == KindCheckpoint && r.Checkpoint != nil {
+				d = r.Checkpoint.Digest
+			}
+			if d != "" {
+				if seen, ok := digests[r.Step]; ok && seen != d {
+					return nil, failf(r.Seq, r.Kind,
+						"digest conflict at step %d: %s vs earlier %s", r.Step, d, seen)
+				}
+				digests[r.Step] = d
+			}
+			pending = append(pending, hashes[i])
+
+		default:
+			pending = append(pending, hashes[i])
+		}
+		if len(pending) == 1 && r.Kind != KindCommit {
+			// First record of a fresh batch fixes its start seq.
+			batchStart = r.Seq
+		}
+	}
+
+	rep.Records = uint64(len(recs))
+	rep.Pending = uint64(len(pending))
+	rep.TipHash = prevHash
+	rep.TipRoot = prevRoot
+	rep.UncommittedHashes = append(rep.UncommittedHashes, pending...)
+	return rep, nil
+}
+
+// VerifyFile verifies the ledger at path, including head-sidecar
+// agreement when the sidecar exists.
+func VerifyFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, hashes, good, torn, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	rep, err := Verify(recs, hashes)
+	if err != nil {
+		return nil, err
+	}
+	rep.GoodBytes = good
+	rep.TornTail = torn
+
+	hb, err := os.ReadFile(HeadPath(path))
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil // ledger without commits yet (or a bare copy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading head: %v", ErrVerify, err)
+	}
+	var head Head
+	if err := json.Unmarshal(hb, &head); err != nil {
+		return nil, fmt.Errorf("%w: head sidecar corrupt: %v", ErrVerify, err)
+	}
+	if head.Seq >= uint64(len(recs)) {
+		return nil, fmt.Errorf("%w: head names commit %d but file holds %d records (committed tail lost)",
+			ErrVerify, head.Seq, len(recs))
+	}
+	hr := recs[head.Seq]
+	if hr.Kind != KindCommit || hashes[head.Seq] != head.Hash ||
+		hr.Commit == nil || hr.Commit.Root != head.Root {
+		return nil, failf(head.Seq, hr.Kind, "head disagrees with file: head hash %.12s root %.12s",
+			head.Hash, head.Root)
+	}
+	return rep, nil
+}
+
+// ReadFile reads and decodes every complete record of the ledger at
+// path (no verification — pair with VerifyFile for audits).
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, _, _, err := ReadAll(f)
+	return recs, err
+}
+
+// CheckpointAt returns the latest checkpoint record at or before step,
+// for locating the replay start of a prefix audit. ok is false when no
+// checkpoint precedes step.
+func CheckpointAt(recs []Record, step int64) (Record, bool) {
+	var best Record
+	ok := false
+	for _, r := range recs {
+		if r.Kind == KindCheckpoint && r.Step <= step {
+			if !ok || r.Step >= best.Step {
+				best, ok = r, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// DigestAt returns the recorded trajectory digest at exactly step (the
+// last record wins; a resumed run may record a step twice, and Verify
+// has already proven the copies agree). ok is false when the step was
+// never recorded.
+func DigestAt(recs []Record, step int64) (string, bool) {
+	out, ok := "", false
+	for _, r := range recs {
+		switch r.Kind {
+		case KindDigest:
+			if r.Step == step && r.Digest != "" {
+				out, ok = r.Digest, true
+			}
+		case KindCheckpoint:
+			if r.Step == step && r.Checkpoint != nil && r.Checkpoint.Digest != "" {
+				out, ok = r.Checkpoint.Digest, true
+			}
+		}
+	}
+	return out, ok
+}
+
+// DigestSteps lists the steps with a recorded digest, in ledger order
+// (duplicates from replays collapsed).
+func DigestSteps(recs []Record) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, r := range recs {
+		if (r.Kind == KindDigest && r.Digest != "") ||
+			(r.Kind == KindCheckpoint && r.Checkpoint != nil && r.Checkpoint.Digest != "") {
+			if !seen[r.Step] {
+				seen[r.Step] = true
+				out = append(out, r.Step)
+			}
+		}
+	}
+	return out
+}
+
+// GenesisOf returns the ledger's genesis payload, if present (it is
+// always record 0 in a well-formed ledger).
+func GenesisOf(recs []Record) (Genesis, bool) {
+	if len(recs) > 0 && recs[0].Kind == KindGenesis && recs[0].Genesis != nil {
+		return *recs[0].Genesis, true
+	}
+	return Genesis{}, false
+}

@@ -164,3 +164,103 @@ func TestTelemetrySet(t *testing.T) {
 	}
 	set.Drop("a") // idempotent
 }
+
+// TestTelemetrySetDropRace: Drop racing Acquire, publishes and
+// ServeEndpoint across many keys must be data-race free (the verify.sh
+// obs gate runs this under -race). Requests resolve to either the live
+// surface or a 404 — never a torn read.
+func TestTelemetrySetDropRace(t *testing.T) {
+	set := NewTelemetrySet()
+	keys := []string{"job-1", "job-2", "job-3", "job-4"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for _, k := range keys {
+		wg.Add(2)
+		// Publisher: acquire and publish in a loop (a worker's life).
+		go func(k string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tel := set.Acquire(k)
+				tel.PublishSample(StepSample{Step: 1})
+			}
+		}(k)
+		// Reaper: drop the same key concurrently.
+		go func(k string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				set.Drop(k)
+			}
+		}(k)
+	}
+	// Scrapers: route requests across all keys while the churn runs.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, k := range keys {
+					w := httptest.NewRecorder()
+					r := httptest.NewRequest("GET", "/metrics", nil)
+					set.ServeEndpoint(w, r, k, "metrics")
+					if w.Code != http.StatusOK && w.Code != http.StatusNotFound {
+						t.Errorf("racing scrape of %s: %d", k, w.Code)
+						return
+					}
+				}
+				set.Keys()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestTelemetrySetDropServes404: after a drop, every per-job endpoint
+// answers 404 (not a stale surface), and re-acquiring the key starts a
+// fresh surface with none of the old publishes.
+func TestTelemetrySetDropServes404(t *testing.T) {
+	set := NewTelemetrySet()
+	tel := set.Acquire("job-9")
+	tel.PublishSample(StepSample{Step: 7, Temperature: 300})
+
+	get := func(ep string) int {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("GET", "/"+ep, nil)
+		set.ServeEndpoint(w, r, "job-9", ep)
+		return w.Code
+	}
+	for _, ep := range []string{"metrics", "healthz"} {
+		if code := get(ep); code != http.StatusOK {
+			t.Fatalf("%s before drop: %d", ep, code)
+		}
+	}
+	set.Drop("job-9")
+	for _, ep := range []string{"metrics", "healthz", "trace"} {
+		if code := get(ep); code != http.StatusNotFound {
+			t.Fatalf("%s after drop: %d, want 404", ep, code)
+		}
+	}
+	// A fresh Acquire under the same key is a new, empty surface: its
+	// healthz has no published health yet, so it must not leak the old
+	// surface's state.
+	if set.Acquire("job-9") == tel {
+		t.Fatal("Acquire after Drop returned the dropped surface")
+	}
+}

@@ -116,6 +116,13 @@ const (
 	CtrRecoveries    // supervised checkpoint-rollback recoveries
 	CtrReplaySteps   // steps replayed after rollbacks
 	CtrRecoveryNs    // wall time spent in recovery
+
+	// Run-ledger counters (zero unless a provenance ledger is attached):
+	// the append/commit/byte volume of the hash-chained audit trail, so
+	// the ledger's overhead is itself observable.
+	CtrLedgerRecords // provenance records appended
+	CtrLedgerCommits // Merkle batch commits sealed (each is one fsync)
+	CtrLedgerBytes   // bytes appended to the ledger file
 	NumCounters
 )
 
@@ -128,6 +135,7 @@ var counterNames = [NumCounters]string{
 	"fault-drops", "fault-dups", "fault-delays", "fault-corrupts",
 	"fault-stalls", "fault-crashes", "retransmits", "dup-discards",
 	"crc-discards", "recoveries", "replay-steps", "recovery-ns",
+	"ledger-records", "ledger-commits", "ledger-bytes",
 }
 
 // String returns the counter's stable name.

@@ -12,8 +12,10 @@ import (
 // SchemaVersion names the wire schema shared by every observability
 // artifact: the trace exporter's otherData block, the committed
 // BENCH_obs.json profile record, and the telemetry endpoints. Bump it
-// when a field changes meaning.
-const SchemaVersion = "anton-obs/v3"
+// when a field changes meaning. v4 adds the run-ledger counters
+// (ledger-records/-commits/-bytes) and the state_digest field in the
+// structured BENCH records.
+const SchemaVersion = "anton-obs/v4"
 
 // The step tracer records per-step, per-phase spans from the engine plus
 // simulated per-node lanes derived from the machine performance model and

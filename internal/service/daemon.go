@@ -53,6 +53,10 @@ type Daemon struct {
 	graceful atomic.Bool
 	wg       sync.WaitGroup
 
+	// busy counts workers currently executing a job (for the /metrics
+	// utilization gauges).
+	busy atomic.Int64
+
 	mu       sync.Mutex
 	canceled map[string]bool
 	started  bool
@@ -200,8 +204,11 @@ func (d *Daemon) Jobs() []JobStatus { return d.store.List() }
 // QueueDepth reports how many jobs are waiting for a worker.
 func (d *Daemon) QueueDepth() int { return d.q.depth() }
 
+// BusyWorkers reports how many workers are executing a job right now.
+func (d *Daemon) BusyWorkers() int { return int(d.busy.Load()) }
+
 // writeDaemonMetrics renders daemon-level Prometheus metrics (job counts
-// by state, queue depth, worker bound).
+// by state, queue depth, worker-pool size, busy workers, utilization).
 func (d *Daemon) writeDaemonMetrics(w io.Writer) {
 	counts := d.store.Counts()
 	fmt.Fprintf(w, "# HELP antond_jobs Jobs by state.\n# TYPE antond_jobs gauge\n")
@@ -212,4 +219,9 @@ func (d *Daemon) writeDaemonMetrics(w io.Writer) {
 	fmt.Fprintf(w, "antond_queue_depth %d\n", d.q.depth())
 	fmt.Fprintf(w, "# HELP antond_workers Configured worker-pool size.\n# TYPE antond_workers gauge\n")
 	fmt.Fprintf(w, "antond_workers %d\n", d.cfg.Workers)
+	busy := d.busy.Load()
+	fmt.Fprintf(w, "# HELP antond_workers_busy Workers currently executing a job.\n# TYPE antond_workers_busy gauge\n")
+	fmt.Fprintf(w, "antond_workers_busy %d\n", busy)
+	fmt.Fprintf(w, "# HELP antond_worker_utilization Busy fraction of the worker pool.\n# TYPE antond_worker_utilization gauge\n")
+	fmt.Fprintf(w, "antond_worker_utilization %g\n", float64(busy)/float64(d.cfg.Workers))
 }

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"anton/internal/ledger"
+)
+
+// TestJobLedgerProvenance: every job leaves an auditable run ledger —
+// genesis with the spec and config fingerprint, cadenced digests whose
+// final entry matches the job's reported digest, a checkpoint record
+// per boundary — served raw over the API, and any byte flip in the
+// committed prefix fails verification.
+func TestJobLedgerProvenance(t *testing.T) {
+	skipShort(t)
+	d := newTestDaemon(t, Config{StateDir: t.TempDir(), Workers: 1})
+	js, err := d.Submit(JobSpec{System: "small", Steps: 60, CheckpointEvery: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Kill()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	final := waitJob(t, d, js.ID, 2*time.Minute, func(j JobStatus) bool { return j.State.terminal() })
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (err %q)", final.State, final.Error)
+	}
+
+	path := d.store.LedgerPath(js.ID)
+	rep, err := ledger.VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTail || rep.Pending != 0 {
+		t.Fatalf("finished job's ledger not fully committed: %+v", rep)
+	}
+	recs, err := ledger.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := ledger.GenesisOf(recs)
+	if !ok || g.Fingerprint == "" || len(g.Spec) == 0 {
+		t.Fatalf("genesis record incomplete: %+v", g)
+	}
+	if dg, ok := ledger.DigestAt(recs, 60); !ok || dg != final.Digest {
+		t.Fatalf("ledger digest at step 60 = %q ok=%v, status says %q", dg, ok, final.Digest)
+	}
+	ckpts := 0
+	for _, r := range recs {
+		if r.Kind == ledger.KindCheckpoint {
+			ckpts++
+		}
+	}
+	if ckpts < 3 {
+		t.Fatalf("%d checkpoint records over 3 boundaries", ckpts)
+	}
+
+	// The API serves the artifact verbatim.
+	req, _ := http.NewRequest("GET", srv.URL+"/api/v1/jobs/"+js.ID+"/ledger", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ledger: %d %s", resp.StatusCode, body)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, onDisk) {
+		t.Fatalf("served ledger (%d bytes) differs from the file (%d bytes)", len(body), len(onDisk))
+	}
+	if resp, _ := srv.Client().Get(srv.URL + "/api/v1/jobs/job-999999/ledger"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job's ledger: %d, want 404", resp.StatusCode)
+	}
+
+	// Tamper with a committed byte: verification must fail and name a
+	// record.
+	flipped := append([]byte(nil), onDisk...)
+	flipped[len(flipped)/2] ^= 0x01
+	tampered := path + ".tampered"
+	if err := os.WriteFile(tampered, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.VerifyFile(tampered); err == nil {
+		t.Fatal("tampered ledger verified clean")
+	} else if !strings.Contains(err.Error(), "record") && !strings.Contains(err.Error(), "head") {
+		t.Fatalf("tamper error does not name the damage: %v", err)
+	}
+}
+
+// TestJobLedgerResumeAudit: a killed-and-resumed job re-opens its
+// ledger (auditing it first), stamps a resume record, and the finished
+// chain still verifies — including the replay-consistency rule, since
+// the resumed worker re-appends digests for steps the first incarnation
+// already recorded.
+func TestJobLedgerResumeAudit(t *testing.T) {
+	skipShort(t)
+	dir := t.TempDir()
+	spec := JobSpec{System: "small", Steps: 100, CheckpointEvery: 10, Seed: 5}
+
+	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
+	js, err := d1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Start()
+	waitJob(t, d1, js.ID, 2*time.Minute, func(j JobStatus) bool { return j.Step >= 30 })
+	d1.Kill()
+
+	d2 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
+	d2.Start()
+	defer d2.Kill()
+	final := waitJob(t, d2, js.ID, 5*time.Minute, func(j JobStatus) bool { return j.State.terminal() })
+	if final.State != StateDone || final.Resumes < 1 {
+		t.Fatalf("resumed job ended %s with resumes=%d (err %q)", final.State, final.Resumes, final.Error)
+	}
+
+	path := d2.store.LedgerPath(js.ID)
+	if _, err := ledger.VerifyFile(path); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumes := 0
+	for _, r := range recs {
+		if r.Kind == ledger.KindResume {
+			resumes++
+		}
+	}
+	if resumes < 1 {
+		t.Fatalf("resumed job's ledger has %d resume records", resumes)
+	}
+	if dg, ok := ledger.DigestAt(recs, int64(spec.Steps)); !ok || dg != referenceDigest(t, spec) {
+		t.Fatalf("resumed ledger digest %q ok=%v != uninterrupted reference", dg, ok)
+	}
+}
+
+// TestJobLedgerTamperFailsResume: extending a tampered history would
+// launder it, so a resumed job whose ledger fails its audit must fail —
+// with an error naming the ledger, not a quiet fresh start.
+func TestJobLedgerTamperFailsResume(t *testing.T) {
+	skipShort(t)
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
+	js, err := d1.Submit(JobSpec{System: "small", Steps: 2000, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Start()
+	waitJob(t, d1, js.ID, 2*time.Minute, func(j JobStatus) bool { return j.Step >= 20 })
+	d1.Kill()
+
+	path := d1.store.LedgerPath(js.ID)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
+	d2.Start()
+	defer d2.Kill()
+	final := waitJob(t, d2, js.ID, time.Minute, func(j JobStatus) bool { return j.State.terminal() })
+	if final.State != StateFailed || !strings.Contains(final.Error, "ledger") {
+		t.Fatalf("job over a tampered ledger ended %s (err %q), want failed with a ledger error",
+			final.State, final.Error)
+	}
+}
+
+// TestDaemonWorkerMetrics: the daemon /metrics surface reports queue
+// depth, per-state job gauges, pool size, busy workers and utilization.
+func TestDaemonWorkerMetrics(t *testing.T) {
+	skipShort(t)
+	d := newTestDaemon(t, Config{StateDir: t.TempDir(), Workers: 1})
+	running, err := d.Submit(JobSpec{System: "small", Steps: 4000, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(JobSpec{System: "small", Steps: 10}); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Kill()
+	waitJob(t, d, running.ID, 2*time.Minute, func(j JobStatus) bool { return j.State == StateRunning && j.Step > 0 })
+
+	var buf bytes.Buffer
+	d.writeDaemonMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`antond_jobs{state="running"} 1`,
+		`antond_jobs{state="queued"} 1`,
+		"antond_queue_depth 1",
+		"antond_workers 1",
+		"antond_workers_busy 1",
+		"antond_worker_utilization 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon metrics missing %q:\n%s", want, out)
+		}
+	}
+	if d.BusyWorkers() != 1 {
+		t.Errorf("BusyWorkers = %d, want 1", d.BusyWorkers())
+	}
+}

@@ -15,6 +15,7 @@ import (
 //	GET    /api/v1/jobs/{id}/metrics     per-job Prometheus metrics
 //	GET    /api/v1/jobs/{id}/healthz     per-job watchdog status
 //	GET    /api/v1/jobs/{id}/trace       per-job Chrome trace JSON
+//	GET    /api/v1/jobs/{id}/ledger      per-job run ledger (JSON lines)
 //	GET    /healthz                      daemon health (unauthenticated)
 //	GET    /metrics                      daemon metrics (unauthenticated)
 //
@@ -114,6 +115,10 @@ func (d *Daemon) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := d.Job(id); !ok {
 		writeErr(w, http.StatusNotFound, "no such job %s", id)
+		return
+	}
+	if r.PathValue("endpoint") == "ledger" {
+		d.serveLedger(w, id)
 		return
 	}
 	d.tset.ServeEndpoint(w, r, id, r.PathValue("endpoint"))

@@ -61,7 +61,7 @@ func referenceDigest(t *testing.T, spec JobSpec) string {
 	if err := spec.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	sim, _, sh, err := buildSim(spec)
+	sim, _, sh, err := BuildSim(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,17 +8,19 @@ import (
 
 	"anton/internal/core"
 	"anton/internal/faults"
+	"anton/internal/ledger"
 	"anton/internal/obs"
 	"anton/internal/obs/health"
 	"anton/internal/system"
 )
 
-// buildSim constructs the execution engine a job spec describes: the
+// BuildSim constructs the execution engine a job spec describes: the
 // system, the (optionally sharded) engine, and the deterministic initial
 // velocities. A resumed job calls this too — the checkpoint restore then
 // overwrites the seeded state, exactly as the uninterrupted run would
-// have evolved it.
-func buildSim(spec JobSpec) (core.Sim, *core.Engine, *core.Sharded, error) {
+// have evolved it. Exported for antonaudit: a replay audit rebuilds the
+// simulation from the spec a ledger's genesis record embeds.
+func BuildSim(spec JobSpec) (core.Sim, *core.Engine, *core.Sharded, error) {
 	var s *system.System
 	var err error
 	if spec.System == "small" {
@@ -70,7 +72,9 @@ func (d *Daemon) worker() {
 		if !ok {
 			return
 		}
+		d.busy.Add(1)
 		d.runJob(id)
+		d.busy.Add(-1)
 	}
 }
 
@@ -97,7 +101,7 @@ func (d *Daemon) runJob(id string) {
 		return
 	}
 
-	sim, eng, sh, err := buildSim(js.Spec)
+	sim, eng, sh, err := BuildSim(js.Spec)
 	if err != nil {
 		d.finish(&js, StateFailed, err)
 		return
@@ -111,6 +115,7 @@ func (d *Daemon) runJob(id string) {
 	// mutating anything; a damaged file fails the job with a clear error
 	// rather than silently starting a different trajectory.
 	ckptPath := d.store.CheckpointPath(id)
+	resumed := false
 	if _, statErr := os.Stat(ckptPath); statErr == nil {
 		if err := sim.RestoreCheckpointFile(ckptPath); err != nil {
 			d.finish(&js, StateFailed, fmt.Errorf("resuming from checkpoint: %w", err))
@@ -118,8 +123,26 @@ func (d *Daemon) runJob(id string) {
 		}
 		js.Resumes++
 		js.ResumedFrom = sim.StepCount()
+		resumed = true
 		d.log.Info("job resumed from checkpoint", "job", id, "step", sim.StepCount())
 	}
+
+	// The run ledger is part of the durability contract: a fresh job
+	// opens its provenance chain with a genesis record; a resumed job
+	// audits the existing chain first (a tampered or torn-beyond-repair
+	// ledger fails the job — resuming would extend a history that can no
+	// longer be trusted) and stamps a resume record.
+	lw, err := d.openJobLedger(&js, eng, resumed)
+	if err != nil {
+		d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
+		return
+	}
+	defer func() {
+		if err := lw.Close(); err != nil {
+			d.log.Error("close ledger", "job", id, "err", err)
+		}
+	}()
+	tap := core.AttachLedger(eng, lw, 0)
 
 	if js.Spec.Chaos != "" {
 		spec, err := faults.ParseSpec(js.Spec.Chaos) // validated at submit
@@ -131,9 +154,24 @@ func (d *Daemon) runJob(id string) {
 			Plane:           faults.New(spec, sh.Shards()),
 			CheckpointEvery: js.Spec.CheckpointEvery,
 			CheckpointPath:  ckptPath,
+			OnRecovery: func(ev core.RecoveryEvent) {
+				if err := lw.AppendRecovery(ledger.Recovery{
+					DetectedStep: ev.DetectedStep,
+					RestoredStep: ev.RestoredStep,
+					Crashed:      ev.Crashed,
+					Adopted:      ev.Adopted,
+					Spurious:     ev.Spurious,
+				}); err != nil {
+					d.log.Error("ledger recovery record", "job", id, "err", err)
+				}
+			},
 		}
 		if err := sh.EnableFaults(fcfg); err != nil {
 			d.finish(&js, StateFailed, err)
+			return
+		}
+		if err := lw.AppendFaults(int64(sim.StepCount()), spec.String(), spec.Seed); err != nil {
+			d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
 			return
 		}
 	}
@@ -163,6 +201,27 @@ func (d *Daemon) runJob(id string) {
 	persist := func() error {
 		if err := sim.WriteCheckpointFile(ckptPath); err != nil {
 			return fmt.Errorf("writing checkpoint: %w", err)
+		}
+		// Ledger the checkpoint (file + its CRC + digest) and any health
+		// alerts latched since the previous boundary, then seal the batch:
+		// the commit fsyncs, so everything up to this boundary is durable
+		// before the status record can claim it.
+		if err := tap.RecordCheckpoint(ckptPath); err != nil {
+			return fmt.Errorf("ledgering checkpoint: %w", err)
+		}
+		for _, a := range watch.Drain() {
+			if err := lw.AppendAlert(a.Step, ledger.Alert{
+				Monitor:   a.Monitor,
+				Severity:  a.Severity.String(),
+				Value:     a.Value,
+				Threshold: a.Threshold,
+				Message:   a.Message,
+			}); err != nil {
+				return fmt.Errorf("ledgering alert: %w", err)
+			}
+		}
+		if err := lw.Commit(); err != nil {
+			return fmt.Errorf("committing ledger: %w", err)
 		}
 		js.Step = sim.StepCount()
 		js.Digest = fmt.Sprintf("%016x", sim.StateDigest())
@@ -219,6 +278,13 @@ func (d *Daemon) runJob(id string) {
 		publish()
 	}
 
+	// A dead ledger never stops the dynamics, but it does fail the job:
+	// a run whose provenance chain has a hole is not auditable, and
+	// "done" here certifies auditability.
+	if err := tap.Err(); err != nil {
+		d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
+		return
+	}
 	d.finish(&js, StateDone, nil)
 	publish()
 	d.log.Info("job finished", "job", id, "steps", js.Step, "digest", js.Digest)

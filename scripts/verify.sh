@@ -52,6 +52,27 @@ echo "== race: telemetry lifecycle =="
 # must route under concurrent access.
 go test -race -run 'TestTelemetryLifecycle|TestTelemetrySet' ./internal/obs
 
+echo "== race: run ledger (writer concurrency + verification) =="
+# The ledger writer is appended to from the step loop and the recovery
+# supervisor concurrently; run the whole package under the race
+# detector, plus the zero-perturbation contract (attaching a ledger
+# changes no trajectory bit across monolithic/parallel/sharded runs).
+go test -race ./internal/ledger
+go test -race -short -run 'TestLedgerZeroPerturbation|TestLedgerTap' \
+	./internal/core
+
+echo "== ledger: tamper detection =="
+# Flip bytes across a committed chain: every flip must fail
+# verification naming the record or the head. This is the gate that
+# keeps raw-line hashing honest — no canonicalization hole.
+go test -run 'TestLedgerTamper|TestLedgerTruncatedCommittedTail' \
+	./internal/ledger
+
+echo "== ledger: Merkle root determinism =="
+# The same records must seal the same roots in any process, twice in
+# one process (-count=2 exposes ordering/state leaks between runs).
+go test -count=2 -run 'TestLedgerRootDeterminism' ./internal/ledger
+
 echo "== race: service daemon (durability e2e) =="
 # The whole service package under the race detector, long tests included:
 # queue/store/auth units, the HTTP API e2e, and the two durability
