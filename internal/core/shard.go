@@ -58,6 +58,14 @@ type Sharded struct {
 
 	comm *measuredComm
 
+	// overlap selects the streaming pipeline (per-subbox readiness with
+	// compute/communication overlap and compressed frames; default) over
+	// the PR 4 barrier-staged pipeline kept as a bisection escape hatch.
+	overlap bool
+	// lastStream snapshots the summed per-shard stream tallies so each
+	// evaluation's delta can feed the obs counters.
+	lastStream streamTally
+
 	// subBox maps a subbox to its enclosing home box; cellBox maps a mesh
 	// cell to the home box covering its location. Both are static.
 	subBox  []int32
@@ -70,10 +78,17 @@ type Sharded struct {
 	// traffic pass parallelizes across shards without collisions).
 	meshCellRows [][]int64
 
-	// Rebuild scratch: epoch-stamped membership marks.
+	// Rebuild scratch: epoch-stamped membership marks, plus the streaming
+	// dependency-group builders (box -> import index, subbox -> local
+	// index, dep-set -> group dedup map, merge/key buffers).
 	atomStamp []int32
 	boxStamp  []int32
 	epoch     int32
+	srcIdx    []int32
+	subLocal  []int32
+	groupIdx  map[string]int32
+	depMerge  []int32
+	keyBuf    []byte
 
 	closeOnce sync.Once
 }
@@ -102,6 +117,7 @@ type shardMsg struct {
 	flags   uint8  // msgLoopback etc.
 	pos     []fixp.Vec3
 	f       []Force3
+	frame   []byte // compressed payload (streaming pipeline; pos/f nil)
 }
 
 // shardCmd is one broadcast work item: the stage closure plus the
@@ -178,6 +194,33 @@ type shardState struct {
 	footOut     [][]Force3
 	exclFootOut [][]Force3
 
+	// Streaming-pipeline state (see shardstream.go). The dependency
+	// groups partition myPairs by the exact sender set whose arrival
+	// unblocks them; the per-sender slot/group lists drive the readiness
+	// ledger; the prev/frame buffers carry the wire codec's delta bases
+	// and encoded frames.
+	ownSlots     []int32     // slots whose atom this shard owns
+	senderSlots  [][]int32   // per impSrcs entry: slots owned by that sender
+	subDepLists  [][]int32   // per touchedSubs entry: sender deps (rebuild scratch)
+	depGroups    []depGroup  // sender-keyed pair groups (canonical order)
+	senderGroups [][]int32   // per impSrcs entry: groups it participates in
+	groupLeft    []int32     // per-eval countdown of unarrived deps
+	groupEnergy  []float64   // per-group float energy (canonical-order reduce)
+	readyQ       []int32     // readiness queue of runnable group indices
+	readyCur     int         // consumed prefix of readyQ
+	arrived      int         // pos imports applied this evaluation
+	footGot      int         // force envelopes accepted this evaluation
+	footDirect   bool        // stage B: apply force envelopes immediately
+	spreadDone   bool        // mesh spread already ran as overlap filler
+	fbuf         []shardMsg  // force envelopes buffered during the import wait
+	prevPosOut   []fixp.Vec3 // codec base: owned positions last exchanged
+	prevDeltaOut []fixp.Vec3 // codec base: owned displacements last exchanged
+	ldelta       []fixp.Vec3 // receiver codec state: last decoded displacement
+	posFrame     []byte      // encoded position frame (immutable per exchange)
+	footFrames   [][]byte    // per impSrcs entry: encoded short-force frame
+	exclFrames   [][]byte    // per exclFootDst entry: encoded long-force frame
+	stream       streamTally // overlap/compression accounting (driver-read)
+
 	// Constraint scratch (group-local, maxGroupLen).
 	shakeCur, shakeRef, rattleVel []vec.V3
 
@@ -197,7 +240,7 @@ func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh := &Sharded{E: e}
+	sh := &Sharded{E: e, overlap: true}
 	n := e.grid.NumBoxes()
 
 	sh.prevBoxOf = make([]int32, len(e.Pos))
@@ -209,6 +252,11 @@ func NewSharded(s *system.System, cfg Config) (*Sharded, error) {
 	for i := range sh.boxStamp {
 		sh.boxStamp[i] = -1
 	}
+
+	// Rebuild scratch for the streaming dependency groups.
+	sh.srcIdx = make([]int32, n)
+	sh.subLocal = make([]int32, e.subGrid.NumBoxes())
+	sh.groupIdx = make(map[string]int32)
 
 	// Static subbox -> home box map.
 	sh.subBox = make([]int32, e.subGrid.NumBoxes())
@@ -343,6 +391,40 @@ func (s *Sharded) runEach(stage uint8, send, body func(*shardState)) *stageFail 
 
 // Engine exposes the underlying engine for read-only reporting.
 func (s *Sharded) Engine() *Engine { return s.E }
+
+// SetOverlap selects between the streaming pipeline (true, the default:
+// per-subbox readiness, compute/communication overlap, compressed
+// frames) and the barrier-staged pipeline (false: PR 4 semantics, no
+// compression). Both produce bitwise-identical trajectories; the flag
+// exists so a streaming regression can be bisected against the barrier
+// path. Driver-serial: call between Step calls (or before the first).
+func (s *Sharded) SetOverlap(on bool) {
+	if s.overlap == on {
+		return
+	}
+	s.overlap = on
+	if !on {
+		return
+	}
+	// Re-entering the streaming path: the barrier legs exchanged full
+	// positions without advancing the senders' codec state, so resync
+	// both sides of every predictor base from the canonical state — the
+	// same reset rebuildViews performs.
+	e := s.E
+	for _, st := range s.shards {
+		for oi, a := range st.owned {
+			st.prevPosOut[oi] = e.Pos[a]
+			st.prevDeltaOut[oi] = fixp.Vec3{}
+		}
+		for _, a := range st.needAll {
+			st.lpos[a] = e.Pos[a]
+			st.ldelta[a] = fixp.Vec3{}
+		}
+	}
+}
+
+// Overlap reports whether the streaming pipeline is selected.
+func (s *Sharded) Overlap() bool { return s.overlap }
 
 // Shards returns the virtual node count.
 func (s *Sharded) Shards() int { return len(s.shards) }
@@ -486,6 +568,78 @@ func (s *Sharded) rebuildViews() {
 			st.footAtoms[di] = lst
 		}
 
+		// Streaming dependency groups: per-sender slot lists, per-subbox
+		// sender-dependency sets, and the partition of myPairs into groups
+		// keyed by their exact dependency set (a pair is runnable once every
+		// sender owning a slot atom of either subbox has arrived). Deps are
+		// derived from actual slot-atom owners — an atom's home box follows
+		// its constraint-group leader, so subbox geometry alone does not
+		// determine ownership.
+		for di, b := range st.impSrcs {
+			s.srcIdx[b] = int32(di)
+		}
+		st.ownSlots = st.ownSlots[:0]
+		st.senderSlots = resizeLists(st.senderSlots, len(st.impSrcs))
+		for i := range st.senderSlots {
+			st.senderSlots[i] = st.senderSlots[i][:0]
+		}
+		st.subDepLists = resizeLists(st.subDepLists, len(st.touchedSubs))
+		for li, sb := range st.touchedSubs {
+			s.subLocal[sb] = int32(li)
+			deps := st.subDepLists[li][:0]
+			for slot := k.subStart[sb]; slot < k.subStart[sb+1]; slot++ {
+				b := e.boxOf[k.atomOf[slot]]
+				if b == st.id {
+					st.ownSlots = append(st.ownSlots, slot)
+					continue
+				}
+				di := s.srcIdx[b]
+				st.senderSlots[di] = append(st.senderSlots[di], slot)
+				deps = append(deps, di)
+			}
+			st.subDepLists[li] = sortDedupInt32(deps)
+		}
+		st.depGroups = st.depGroups[:0]
+		for pi := range st.myPairs {
+			pr := st.myPairs[pi]
+			merged := mergeSortedInt32(s.depMerge[:0],
+				st.subDepLists[s.subLocal[pr[0]]], st.subDepLists[s.subLocal[pr[1]]])
+			s.depMerge = merged
+			key := s.keyBuf[:0]
+			for _, v := range merged {
+				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			s.keyBuf = key
+			gi, ok := s.groupIdx[string(key)]
+			if !ok {
+				gi = int32(len(st.depGroups))
+				st.depGroups = appendDepGroup(st.depGroups, merged)
+				s.groupIdx[string(key)] = gi
+			}
+			g := &st.depGroups[gi]
+			g.pairs = append(g.pairs, pr)
+		}
+		for k2 := range s.groupIdx {
+			delete(s.groupIdx, k2)
+		}
+		st.senderGroups = resizeLists(st.senderGroups, len(st.impSrcs))
+		for i := range st.senderGroups {
+			st.senderGroups[i] = st.senderGroups[i][:0]
+		}
+		for gi := range st.depGroups {
+			for _, di := range st.depGroups[gi].deps {
+				st.senderGroups[di] = append(st.senderGroups[di], int32(gi))
+			}
+		}
+		if cap(st.groupLeft) < len(st.depGroups) {
+			st.groupLeft = make([]int32, len(st.depGroups))
+		}
+		st.groupLeft = st.groupLeft[:len(st.depGroups)]
+		if cap(st.groupEnergy) < len(st.depGroups) {
+			st.groupEnergy = make([]float64, len(st.depGroups))
+		}
+		st.groupEnergy = st.groupEnergy[:len(st.depGroups)]
+
 		// Exclusion-correction touch set and its export grouping.
 		st.exclTouch = st.exclTouch[:0]
 		s.epoch++
@@ -541,6 +695,31 @@ func (s *Sharded) rebuildViews() {
 		st.posOut = st.posOut[:len(st.owned)]
 		st.footOut = resizeForce(st.footOut, st.footAtoms)
 		st.exclFootOut = resizeForce(st.exclFootOut, st.exclFootAtoms)
+
+		// Wire-codec predictor state and frame buffers. The sender's owned
+		// snapshot and every importer's local copies are reset from the
+		// same driver-serial canonical state (displacement history zeroed
+		// on both sides), so the codec bases agree bit-for-bit after every
+		// construction, migration and restore.
+		if cap(st.prevPosOut) < len(st.owned) {
+			st.prevPosOut = make([]fixp.Vec3, len(st.owned))
+			st.prevDeltaOut = make([]fixp.Vec3, len(st.owned))
+		}
+		st.prevPosOut = st.prevPosOut[:len(st.owned)]
+		st.prevDeltaOut = st.prevDeltaOut[:len(st.owned)]
+		for oi, a := range st.owned {
+			st.prevPosOut[oi] = e.Pos[a]
+			st.prevDeltaOut[oi] = fixp.Vec3{}
+		}
+		if st.ldelta == nil {
+			st.ldelta = make([]fixp.Vec3, natoms)
+		}
+		for _, a := range st.needAll {
+			st.lpos[a] = e.Pos[a]
+			st.ldelta[a] = fixp.Vec3{}
+		}
+		st.footFrames = resizeBytes(st.footFrames, len(st.impSrcs))
+		st.exclFrames = resizeBytes(st.exclFrames, len(st.exclFootDst))
 	}
 
 	// Invert imports into export destinations, and foot lists into the
@@ -563,10 +742,10 @@ func (s *Sharded) rebuildViews() {
 		}
 	}
 	for _, st := range s.shards {
-		need := len(st.impSrcs)
-		if t := st.inFoot + st.inExclFoot; t > need {
-			need = t
-		}
+		// The streaming pipeline can have positions and forces in flight at
+		// once, so size each inbox for a whole evaluation's message set —
+		// that is what keeps plain-mode sends non-blocking and deadlock-free.
+		need := len(st.impSrcs) + st.inFoot + st.inExclFoot + 4
 		if s.sup != nil {
 			// Reliable mode: the inbox also absorbs duplicates, delayed
 			// stragglers from earlier exchanges and retransmissions, and the

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"anton/internal/fixp"
+)
+
+// Wire codec for the streaming shard transport. Position imports are
+// compressed with a second-order predictor: the frame carries the
+// zigzag-varint *change in displacement* of every owned atom's
+// fixed-point coordinates — cur - prev - prevDelta, where prev is the
+// previous exchanged snapshot and prevDelta the previous frame's
+// displacement. Atoms move at nearly constant velocity across one time
+// step, so the residual is acceleration-sized (a few bits), not
+// displacement-sized, and the frame shrinks far below the raw payload.
+// Force exports are zigzag-varint packed without a base (the receiver
+// folds them into accumulators and keeps no history).
+//
+// Both codecs are lossless by construction: fixed-point subtraction and
+// addition wrap in modular arithmetic, so prev + prevDelta + residual
+// reconstructs cur exactly for every bit pattern, including deliberate
+// wraparound. The predictor state is reset on both sides at every
+// rebuildViews (construction, migration, checkpoint restore): the sender
+// snapshots its owned positions and zeroes its displacement history, and
+// each receiver refreshes its local copies from the same driver-serial
+// canonical state, so the bases agree bit-for-bit. Between rebuilds the
+// receiver's state for a sender's atom is simply its last decoded value
+// and delta — exactly the sender's, because the reliable transport
+// applies each frame exactly once (dedup stamps) and frames are immutable
+// for the lifetime of their exchange (retransmissions resend identical
+// bytes, so the CRC32 covers the frame as sent).
+
+var errShortFrame = errors.New("core: truncated compressed frame")
+
+// zigzag32/zigzag64 map signed values to unsigned so small magnitudes of
+// either sign varint-encode short.
+func zigzag32(v int32) uint64 { return uint64(uint32((v << 1) ^ (v >> 31))) }
+func unzigzag32(u uint64) int32 {
+	x := uint32(u)
+	return int32((x >> 1) ^ -(x & 1))
+}
+func zigzag64(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag64(u uint64) int64 {
+	return int64((u >> 1) ^ -(u & 1))
+}
+
+// appendPosFrame appends the predictor-residual frame of cur against the
+// sender's (prev, prevDelta) state (all equal lengths) and advances that
+// state — the sender-side half of the position codec. The returned slice
+// is the frame's backing buffer.
+func appendPosFrame(dst []byte, cur, prev, prevDelta []fixp.Vec3) []byte {
+	for i := range cur {
+		c, p, pd := cur[i], prev[i], prevDelta[i]
+		d := fixp.Vec3{X: c.X - p.X, Y: c.Y - p.Y, Z: c.Z - p.Z}
+		dst = binary.AppendUvarint(dst, zigzag32(int32(d.X-pd.X)))
+		dst = binary.AppendUvarint(dst, zigzag32(int32(d.Y-pd.Y)))
+		dst = binary.AppendUvarint(dst, zigzag32(int32(d.Z-pd.Z)))
+		prev[i] = c
+		prevDelta[i] = d
+	}
+	return dst
+}
+
+// decodePosFrame applies a position frame onto the receiver's local
+// copies: delta_i = ldelta[atoms[i]] + residual_i, lpos[atoms[i]] +=
+// delta_i. The atom list is the sender's owned list (both sides iterate
+// it in the same order); lpos and ldelta hold the previous snapshot and
+// displacement for exactly those atoms.
+func decodePosFrame(frame []byte, atoms []int32, lpos, ldelta []fixp.Vec3) error {
+	off := 0
+	next := func() (int32, bool) {
+		u, n := binary.Uvarint(frame[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return unzigzag32(u), true
+	}
+	for _, a := range atoms {
+		rx, ok1 := next()
+		ry, ok2 := next()
+		rz, ok3 := next()
+		if !ok1 || !ok2 || !ok3 {
+			return errShortFrame
+		}
+		d := &ldelta[a]
+		d.X += fixp.F32(rx)
+		d.Y += fixp.F32(ry)
+		d.Z += fixp.F32(rz)
+		p := &lpos[a]
+		p.X += d.X
+		p.Y += d.Y
+		p.Z += d.Z
+	}
+	if off != len(frame) {
+		return errShortFrame
+	}
+	return nil
+}
+
+// appendForceFrame appends the zigzag-varint packing of a force export
+// payload (no delta base; see the package comment).
+func appendForceFrame(dst []byte, f []Force3) []byte {
+	for i := range f {
+		dst = binary.AppendUvarint(dst, zigzag64(f[i].X))
+		dst = binary.AppendUvarint(dst, zigzag64(f[i].Y))
+		dst = binary.AppendUvarint(dst, zigzag64(f[i].Z))
+	}
+	return dst
+}
+
+// decodeForceFrame streams n force triples out of a frame through apply
+// (typically an accumulator add keyed by the shared foot-atom list).
+func decodeForceFrame(frame []byte, n int, apply func(i int, f Force3)) error {
+	off := 0
+	next := func() (int64, bool) {
+		u, m := binary.Uvarint(frame[off:])
+		if m <= 0 {
+			return 0, false
+		}
+		off += m
+		return unzigzag64(u), true
+	}
+	for i := 0; i < n; i++ {
+		x, ok1 := next()
+		y, ok2 := next()
+		z, ok3 := next()
+		if !ok1 || !ok2 || !ok3 {
+			return errShortFrame
+		}
+		apply(i, Force3{X: x, Y: y, Z: z})
+	}
+	if off != len(frame) {
+		return errShortFrame
+	}
+	return nil
+}
+
+// posRawBytes / forceRawBytes are the uncompressed payload sizes the
+// frames replace: 12 B per fixed-point position, 24 B per int64 force
+// triple (the in-memory representation the frame carries on the wire).
+func posRawBytes(n int) int64   { return int64(n) * 3 * 4 }
+func forceRawBytes(n int) int64 { return int64(n) * 3 * 8 }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anton/internal/fixp"
+)
+
+// Codec tests: the compressed wire frames must be lossless for every bit
+// pattern — the streaming pipeline's bitwise-trajectory contract rides on
+// prev + (cur - prev) == cur holding under modular wraparound, not just
+// for "reasonable" coordinates.
+
+// TestCodecRoundTrip drives both codecs with seeded random payloads,
+// including extreme values chosen to wrap the fixed-point subtraction,
+// and asserts exact reconstruction plus clean rejection of truncation.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	extremes32 := []int32{0, 1, -1, math.MaxInt32, math.MinInt32, math.MaxInt32 - 1, math.MinInt32 + 1}
+	extremes64 := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, math.MaxInt64 - 1, math.MinInt64 + 1}
+	pick32 := func() fixp.F32 {
+		if rng.Intn(4) == 0 {
+			return fixp.F32(extremes32[rng.Intn(len(extremes32))])
+		}
+		return fixp.F32(rng.Uint32())
+	}
+	pick64 := func() int64 {
+		if rng.Intn(4) == 0 {
+			return extremes64[rng.Intn(len(extremes64))]
+		}
+		return int64(rng.Uint64())
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+
+		// Position codec: decode applies predictor residuals onto the
+		// receiver's copy of the sender's (snapshot, displacement) state,
+		// so seed both sides identically — including a random displacement
+		// history — and check the receiver lands exactly on cur.
+		prev := make([]fixp.Vec3, n)
+		prevDelta := make([]fixp.Vec3, n)
+		cur := make([]fixp.Vec3, n)
+		lpos := make([]fixp.Vec3, n)
+		ldelta := make([]fixp.Vec3, n)
+		atoms := make([]int32, n)
+		for i := 0; i < n; i++ {
+			prev[i] = fixp.Vec3{X: pick32(), Y: pick32(), Z: pick32()}
+			prevDelta[i] = fixp.Vec3{X: pick32(), Y: pick32(), Z: pick32()}
+			cur[i] = fixp.Vec3{X: pick32(), Y: pick32(), Z: pick32()}
+			lpos[i] = prev[i]
+			ldelta[i] = prevDelta[i]
+			atoms[i] = int32(i)
+		}
+		senderPrev := append([]fixp.Vec3(nil), prev...)
+		senderDelta := append([]fixp.Vec3(nil), prevDelta...)
+		frame := appendPosFrame(nil, cur, senderPrev, senderDelta)
+		if err := decodePosFrame(frame, atoms, lpos, ldelta); err != nil {
+			t.Fatalf("trial %d: decodePosFrame: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if lpos[i] != cur[i] {
+				t.Fatalf("trial %d: position %d round-trips to %+v, want %+v (prev %+v)",
+					trial, i, lpos[i], cur[i], prev[i])
+			}
+			if senderPrev[i] != cur[i] {
+				t.Fatalf("trial %d: sender snapshot %d not advanced to cur", trial, i)
+			}
+			if ldelta[i] != senderDelta[i] {
+				t.Fatalf("trial %d: displacement state diverged at %d: receiver %+v, sender %+v",
+					trial, i, ldelta[i], senderDelta[i])
+			}
+		}
+		if n > 0 {
+			if err := decodePosFrame(frame[:len(frame)-1], atoms, lpos, ldelta); err != errShortFrame {
+				t.Fatalf("trial %d: truncated position frame: got %v, want errShortFrame", trial, err)
+			}
+			if err := decodePosFrame(append(append([]byte(nil), frame...), 0), atoms, lpos, ldelta); err != errShortFrame {
+				t.Fatalf("trial %d: padded position frame: got %v, want errShortFrame", trial, err)
+			}
+		}
+
+		// Force codec: no delta base; every int64 bit pattern must survive.
+		forces := make([]Force3, n)
+		for i := range forces {
+			forces[i] = Force3{X: pick64(), Y: pick64(), Z: pick64()}
+		}
+		ff := appendForceFrame(nil, forces)
+		got := make([]Force3, n)
+		if err := decodeForceFrame(ff, n, func(i int, f Force3) { got[i] = f }); err != nil {
+			t.Fatalf("trial %d: decodeForceFrame: %v", trial, err)
+		}
+		for i := range forces {
+			if got[i] != forces[i] {
+				t.Fatalf("trial %d: force %d round-trips to %+v, want %+v", trial, i, got[i], forces[i])
+			}
+		}
+		if n > 0 {
+			if err := decodeForceFrame(ff[:len(ff)-1], n, func(int, Force3) {}); err != errShortFrame {
+				t.Fatalf("trial %d: truncated force frame: got %v, want errShortFrame", trial, err)
+			}
+		}
+	}
+}
+
+// TestCodecDeltaChaining: a multi-exchange sequence where each frame's
+// base is the previous frame's payload — the receiver must track the
+// sender exactly through an arbitrary walk, since this is how the
+// pipeline uses the codec between rebuildViews resets.
+func TestCodecDeltaChaining(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 16
+	senderPrev := make([]fixp.Vec3, n)
+	senderDelta := make([]fixp.Vec3, n)
+	cur := make([]fixp.Vec3, n)
+	lpos := make([]fixp.Vec3, n)   // receiver's copies, start equal to base
+	ldelta := make([]fixp.Vec3, n) // receiver's displacement state
+	atoms := make([]int32, n)
+	for i := range atoms {
+		atoms[i] = int32(i)
+	}
+	var frame []byte
+	for ex := 0; ex < 50; ex++ {
+		for i := 0; i < n; i++ {
+			// Mostly near-constant-velocity walks (the case the predictor
+			// compresses), with occasional full-range jumps to force
+			// wraparound residuals.
+			if rng.Intn(10) == 0 {
+				cur[i] = fixp.Vec3{X: fixp.F32(rng.Uint32()), Y: fixp.F32(rng.Uint32()), Z: fixp.F32(rng.Uint32())}
+			} else {
+				cur[i].X += fixp.F32(rng.Intn(2049) - 1024)
+				cur[i].Y += fixp.F32(rng.Intn(2049) - 1024)
+				cur[i].Z += fixp.F32(rng.Intn(2049) - 1024)
+			}
+		}
+		frame = appendPosFrame(frame[:0], cur, senderPrev, senderDelta)
+		if err := decodePosFrame(frame, atoms, lpos, ldelta); err != nil {
+			t.Fatalf("exchange %d: %v", ex, err)
+		}
+		for i := 0; i < n; i++ {
+			if lpos[i] != cur[i] {
+				t.Fatalf("exchange %d: receiver drifted at atom %d: %+v want %+v", ex, i, lpos[i], cur[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,671 @@
+package core
+
+import (
+	"hash/crc32"
+	"time"
+
+	"anton/internal/htis"
+)
+
+// The streaming shard pipeline (Anton 3-style compute/communication
+// overlap). The barrier pipeline in shardstep.go waits for every halo
+// import before touching a single pair; here each shard instead keeps a
+// readiness ledger over sender-keyed dependency groups: the pair list is
+// partitioned by the exact set of import sources whose slot atoms the
+// pair reads, the receive loop decrements each group's countdown as its
+// senders arrive, and groups run the moment their count hits zero —
+// while later imports are still in flight. Mesh charge spreading (which
+// needs only owned positions) doubles as filler work for receive gaps,
+// and force exports are sent before the spread tail so their flight
+// overlaps the remaining compute.
+//
+// The force evaluation runs as two stages sharing one exchange id:
+//
+//	A  sendPositionsStream   delta-compressed position frames out
+//	   streamBody            readiness-driven compute; early force
+//	                         envelopes buffered + acked; pos sends
+//	                         settled; force frames sent at the tail
+//	 * mergeMesh + convolve  (refresh) driver-serial collectives
+//	B  finishForces          interpolate, owner force assembly, buffered
+//	                         + remaining force frames applied, vsites
+//
+// Two stages are the minimum under crash adoption: an executor running
+// several adopted states runs all send halves before all bodies, so a
+// body may only wait for data sent in a send half or an *earlier*
+// stage's body. Force frames are produced inside stage A bodies, so
+// consuming them must happen in a later stage — stage B.
+//
+// Bitwise contract: arrival order varies, accumulation does not matter.
+// Every force/mesh/virial accumulator is wrapping fixed-point (the PR 4
+// invariant: associative and commutative), each slot/atom is refreshed
+// by exactly one sender, and each interaction is computed once from
+// bit-copied positions — so any interleaving of group execution and
+// frame application produces identical bits. The only order-sensitive
+// sums are the float diagnostic energies, which are buffered per
+// dependency group and reduced in canonical group order (and never feed
+// dynamics).
+
+// depGroup is one sender-keyed dependency group: the subbox pairs that
+// become runnable exactly when every sender in deps has arrived. Group
+// order (first appearance in the myPairs scan) is the canonical float
+// reduction order.
+type depGroup struct {
+	deps  []int32    // sorted impSrcs indices this group waits on
+	pairs [][2]int32 // myPairs subset, in myPairs order
+}
+
+// appendDepGroup grows the group list by one, reusing spare capacity
+// (and its slices' backing arrays) across rebuilds.
+func appendDepGroup(gs []depGroup, deps []int32) []depGroup {
+	if len(gs) < cap(gs) {
+		gs = gs[:len(gs)+1]
+	} else {
+		gs = append(gs, depGroup{})
+	}
+	g := &gs[len(gs)-1]
+	g.deps = append(g.deps[:0], deps...)
+	g.pairs = g.pairs[:0]
+	return gs
+}
+
+// mergeSortedInt32 merges two sorted deduped lists into dst (deduped).
+func mergeSortedInt32(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int32
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			v = a[i]
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			v = b[j]
+			j++
+		default: // equal
+			v = a[i]
+			i++
+			j++
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+func resizeBytes(ls [][]byte, n int) [][]byte {
+	for len(ls) < n {
+		ls = append(ls, nil)
+	}
+	return ls[:n]
+}
+
+// streamTally is one shard's cumulative overlap/compression accounting,
+// read by the driver between stages only. The ns fields are wall-clock
+// (nondeterministic diagnostics); the byte fields are functions of the
+// trajectory alone and are therefore deterministic for a fixed config.
+type streamTally struct {
+	OverlapNs  int64 // ns computing while the exchange was still open
+	BlockedNs  int64 // ns blocked on a receive with no ready work
+	PosRawB    int64 // position payload bytes before compression
+	PosWireB   int64 // position frame bytes actually sent
+	ForceRawB  int64 // force payload bytes before compression
+	ForceWireB int64 // force frame bytes actually sent
+}
+
+func (t *streamTally) add(o streamTally) {
+	t.OverlapNs += o.OverlapNs
+	t.BlockedNs += o.BlockedNs
+	t.PosRawB += o.PosRawB
+	t.PosWireB += o.PosWireB
+	t.ForceRawB += o.ForceRawB
+	t.ForceWireB += o.ForceWireB
+}
+
+func (t streamTally) sub(o streamTally) streamTally {
+	return streamTally{
+		OverlapNs:  t.OverlapNs - o.OverlapNs,
+		BlockedNs:  t.BlockedNs - o.BlockedNs,
+		PosRawB:    t.PosRawB - o.PosRawB,
+		PosWireB:   t.PosWireB - o.PosWireB,
+		ForceRawB:  t.ForceRawB - o.ForceRawB,
+		ForceWireB: t.ForceWireB - o.ForceWireB,
+	}
+}
+
+// streamTotals sums the per-shard stream tallies. Driver-serial.
+func (s *Sharded) streamTotals() streamTally {
+	var t streamTally
+	for _, st := range s.shards {
+		t.add(st.stream)
+	}
+	return t
+}
+
+// streamBase anchors the monotonic clock used for overlap accounting
+// (time.Since reads the monotonic component).
+var streamBase = time.Now()
+
+func streamNow() int64 { return int64(time.Since(streamBase)) }
+
+// --- Stage A: position send half. ---
+
+// sendPositionsStream snapshots the owned positions, encodes the delta
+// frame against the previous exchange, and multicasts it. The frame is
+// immutable until the next evaluation's send half (a global barrier
+// away), so retransmissions and delayed deliveries resend or alias
+// identical bytes.
+func (st *shardState) sendPositionsStream(x *xchg) {
+	e := st.s.E
+	for oi, a := range st.owned {
+		st.posOut[oi] = e.Pos[a]
+	}
+	st.posFrame = appendPosFrame(st.posFrame[:0], st.posOut, st.prevPosOut, st.prevDeltaOut)
+	st.beginSend()
+	for _, dst := range st.expDsts {
+		st.sendStream(x, dst, msgPos, st.posFrame,
+			posRawBytes(len(st.owned)), &st.stream.PosRawB, &st.stream.PosWireB)
+	}
+}
+
+// sendStream transmits one compressed frame, dispatching on transport
+// mode. Loopback (co-located) deliveries never hit the wire and are
+// excluded from the byte accounting.
+func (st *shardState) sendStream(x *xchg, dst int32, kind uint8, frame []byte, rawB int64, raw, wire *int64) {
+	if !x.reliable() {
+		*raw += rawB
+		*wire += int64(len(frame))
+		st.s.shards[dst].inbox <- shardMsg{from: st.id, kind: kind, frame: frame}
+		return
+	}
+	m := shardMsg{from: st.id, kind: kind, epoch: x.epoch, xid: x.xid, frame: frame}
+	sup := st.s.sup
+	if sup.execOf[dst] == sup.execOf[st.id] {
+		m.flags = msgLoopback
+		st.tstats.Loopbacks++
+		d := st.s.shards[dst]
+		select {
+		case d.inbox <- m:
+		default:
+			d.pending = append(d.pending, m)
+		}
+		return
+	}
+	*raw += rawB
+	*wire += int64(len(frame))
+	m.crc = crc32.ChecksumIEEE(frame)
+	st.out = append(st.out, outMsg{dst: dst, kind: kind, attempt: 1, m: m})
+	st.tstats.Sends++
+	st.deliver(x, &st.out[len(st.out)-1])
+}
+
+// --- Stage A: body. ---
+
+// streamBody is the streaming evaluation's main stage: reset the
+// readiness ledger, refresh the shard's own contribution, then drive the
+// import wait loop (running ready work in the gaps), and finish with the
+// serial compute tail, the force exports and the spread remainder.
+func (st *shardState) streamBody(x *xchg, refresh bool) {
+	e := st.s.E
+	k := &e.pk
+
+	// Per-evaluation reset (the barrier path does this in compute()).
+	st.energyRL, st.energyBonded, st.energyP14 = 0, 0, 0
+	st.energyExcl, st.energyMesh = 0, 0
+	st.tally = tally{}
+	st.virial = htis.Virial{}
+	st.spreadTally, st.interpTally = 0, 0
+	st.arrived, st.footGot = 0, 0
+	st.footDirect = false
+	st.spreadDone = !refresh
+	st.fbuf = st.fbuf[:0]
+	st.readyQ = st.readyQ[:0]
+	st.readyCur = 0
+	for gi := range st.depGroups {
+		st.groupEnergy[gi] = 0
+		n := int32(len(st.depGroups[gi].deps))
+		st.groupLeft[gi] = n
+		if n == 0 {
+			st.readyQ = append(st.readyQ, int32(gi))
+		}
+	}
+
+	// Own refresh: positions, float views, accumulators and slots this
+	// shard supplies itself. Each atom/slot is refreshed by exactly one
+	// party (its owner), so nothing here races a later arrival.
+	for _, a := range st.owned {
+		st.lpos[a] = e.Pos[a]
+		st.lposF[a] = e.Coder.Decode(st.lpos[a])
+		st.lfShort[a] = Force3{}
+	}
+	for _, slot := range st.ownSlots {
+		a := k.atomOf[slot]
+		st.spos[slot] = st.lpos[a]
+		st.sbuf[slot] = Force3{}
+	}
+
+	if !st.streamLoop(x, refresh, true, func() int { return len(st.impSrcs) - st.arrived }) {
+		return // aborted: recovery restores everything from the checkpoint
+	}
+
+	// Serial tail: every group is ready now (all imports arrived).
+	for st.readyCur < len(st.readyQ) {
+		st.runGroup(st.readyQ[st.readyCur])
+		st.readyCur++
+	}
+	// Canonical-order reductions: slot-force fold in slot order (wrapping
+	// int adds — order-free anyway) and the float energy in group order.
+	for _, sb := range st.touchedSubs {
+		for slot := k.subStart[sb]; slot < k.subStart[sb+1]; slot++ {
+			if f := st.sbuf[slot]; f != (Force3{}) {
+				a := k.atomOf[slot]
+				st.lfShort[a] = st.lfShort[a].Add(f)
+			}
+		}
+	}
+	for gi := range st.depGroups {
+		st.energyRL += st.groupEnergy[gi]
+	}
+
+	for _, t := range st.bondTerms {
+		st.energyBonded += e.bondedTerm(int(t), st.lposF, st.scratch, st.lfShort)
+	}
+	for _, pi := range st.pair14Idx {
+		st.energyP14 += e.pair14One(&e.pair14[pi], st.lpos, st.lfShort)
+	}
+	if refresh {
+		for _, a := range st.exclTouch {
+			st.lfLong[a] = Force3{}
+		}
+		st.energyExcl = e.exclScan(st.exclTerms, st.lpos, st.lfLong)
+	}
+
+	// Force exports go out before the spread remainder, so their flight
+	// overlaps the mesh tail on the receiving side.
+	st.sendForcesStream(x, refresh)
+	if refresh && !st.spreadDone {
+		st.runSpread()
+	}
+}
+
+// runGroup computes one dependency group's pairs. The batch is empty at
+// every group boundary (pairScan flushes before returning), so the flush
+// pattern depends only on the group partition, not on arrival order; the
+// float energy lands in the group's private slot.
+func (st *shardState) runGroup(gi int32) {
+	e := st.s.E
+	g := &st.depGroups[gi]
+	e.pairScan(g.pairs, st.spos, st.sbuf, &st.batch,
+		&st.groupEnergy[gi], &st.tally, &st.virial)
+}
+
+// runSpread spreads the owned atoms' charges onto the private mesh
+// buffer — the guaranteed-ready filler work for receive gaps (it reads
+// only owned positions, refreshed at stage entry).
+func (st *shardState) runSpread() {
+	e := st.s.E
+	ms := e.mesh
+	top := e.Sys.Top
+	for i := range st.meshCounts {
+		st.meshCounts[i] = 0
+	}
+	for _, a := range st.owned {
+		q := top.Atoms[a].Charge
+		if q == 0 {
+			continue
+		}
+		st.spreadTally += ms.spreadAtom(q, st.lposF[a], st.meshCounts)
+	}
+	st.spreadDone = true
+}
+
+// runOneReady executes one unit of ready work — the next runnable group,
+// else the mesh spread — and reports whether anything ran.
+func (st *shardState) runOneReady() bool {
+	if st.readyCur < len(st.readyQ) {
+		st.runGroup(st.readyQ[st.readyCur])
+		st.readyCur++
+		return true
+	}
+	if !st.spreadDone {
+		st.runSpread()
+		return true
+	}
+	return false
+}
+
+// applyImport decodes one position frame into the local copies and
+// advances the readiness ledger: refresh the sender's atoms and slots,
+// then decrement every group waiting on it.
+func (st *shardState) applyImport(m *shardMsg) {
+	e := st.s.E
+	k := &e.pk
+	di := -1
+	for i, src := range st.impSrcs {
+		if src == m.from {
+			di = i
+			break
+		}
+	}
+	if di < 0 {
+		return // not an import source (cannot happen for a fresh envelope)
+	}
+	if err := decodePosFrame(m.frame, st.s.shards[m.from].owned, st.lpos, st.ldelta); err != nil {
+		// A malformed frame cannot pass the CRC gate; reaching here means
+		// the codec itself broke its round-trip invariant.
+		panic("core: position frame round-trip violation: " + err.Error())
+	}
+	for _, a := range st.footAtoms[di] {
+		st.lposF[a] = e.Coder.Decode(st.lpos[a])
+		st.lfShort[a] = Force3{}
+	}
+	for _, slot := range st.senderSlots[di] {
+		a := k.atomOf[slot]
+		st.spos[slot] = st.lpos[a]
+		st.sbuf[slot] = Force3{}
+	}
+	st.arrived++
+	for _, gi := range st.senderGroups[di] {
+		st.groupLeft[gi]--
+		if st.groupLeft[gi] == 0 {
+			st.readyQ = append(st.readyQ, gi)
+		}
+	}
+}
+
+// applyFoot folds one force frame into the canonical force arrays
+// (wrapping fixed-point adds: arrival order is invisible). Runs in stage
+// B only, after the owner's base assignment.
+func (st *shardState) applyFoot(m *shardMsg, refresh bool) {
+	e := st.s.E
+	switch m.kind {
+	case msgForce:
+		atoms := st.inFootFrom[m.from]
+		err := decodeForceFrame(m.frame, len(atoms), func(i int, f Force3) {
+			a := atoms[i]
+			e.fShort[a] = e.fShort[a].Add(f)
+		})
+		if err != nil {
+			panic("core: force frame round-trip violation: " + err.Error())
+		}
+	case msgForceLong:
+		if !refresh {
+			return
+		}
+		atoms := st.inExclFootFrom[m.from]
+		err := decodeForceFrame(m.frame, len(atoms), func(i int, f Force3) {
+			a := atoms[i]
+			e.fLong[a] = e.fLong[a].Add(f)
+		})
+		if err != nil {
+			panic("core: force frame round-trip violation: " + err.Error())
+		}
+	}
+}
+
+// applyStream dispatches one fresh (non-stale, integrity-checked)
+// envelope: position frames feed the readiness ledger, force frames are
+// buffered during stage A (the owner's base assignment has not run yet)
+// and applied directly during stage B. Returns false for duplicates.
+func (st *shardState) applyStream(x *xchg, m *shardMsg, refresh bool) bool {
+	switch m.kind {
+	case msgPos:
+		if x.reliable() {
+			if st.gotPos[m.from] == x.xid {
+				return false
+			}
+			st.gotPos[m.from] = x.xid
+		}
+		st.applyImport(m)
+		return true
+	case msgForce:
+		if x.reliable() {
+			if st.gotF[m.from] == x.xid {
+				return false
+			}
+			st.gotF[m.from] = x.xid
+		}
+	case msgForceLong:
+		if x.reliable() {
+			if st.gotFL[m.from] == x.xid {
+				return false
+			}
+			st.gotFL[m.from] = x.xid
+		}
+	default:
+		return false
+	}
+	st.footGot++
+	if st.footDirect {
+		st.applyFoot(m, refresh)
+	} else {
+		st.fbuf = append(st.fbuf, *m)
+	}
+	return true
+}
+
+// handleStream runs one received envelope through the staleness,
+// integrity and idempotence layers, then applyStream. The layering is
+// runProtocol's handleData with kind-dispatch instead of a single apply.
+func (st *shardState) handleStream(x *xchg, m *shardMsg, refresh bool) {
+	if !x.reliable() {
+		st.applyStream(x, m, refresh)
+		return
+	}
+	if m.epoch != x.epoch || m.xid != x.xid {
+		st.tstats.StaleDiscards++
+		return
+	}
+	loopback := m.flags&msgLoopback != 0
+	if !loopback && crc32.ChecksumIEEE(m.frame) != m.crc {
+		st.tstats.CrcDiscards++
+		return
+	}
+	if !st.applyStream(x, m, refresh) {
+		st.tstats.DupDiscards++
+	}
+	if !loopback {
+		// Ack duplicates too — a duplicate usually means the first ack
+		// was lost or is still in flight.
+		st.sendAck(x, m)
+	}
+}
+
+// streamLoop drives one streaming stage to completion: receive until
+// pending() reaches zero and (reliable mode) every send is settled,
+// filling receive gaps with ready work when fill is set. Work run inside
+// the loop counts as overlap; waits with nothing ready count as blocked.
+// Returns false if the supervisor aborted the stage.
+func (st *shardState) streamLoop(x *xchg, refresh, fill bool, pending func() int) bool {
+	if !x.reliable() {
+		for pending() > 0 {
+			select {
+			case m := <-st.inbox:
+				st.handleStream(x, &m, refresh)
+			default:
+				if fill {
+					t0 := streamNow()
+					if st.runOneReady() {
+						st.stream.OverlapNs += streamNow() - t0
+						continue
+					}
+				}
+				t0 := streamNow()
+				m := <-st.inbox
+				st.stream.BlockedNs += streamNow() - t0
+				st.handleStream(x, &m, refresh)
+			}
+		}
+		return true
+	}
+
+	// Reliable mode: the runProtocol settle/retransmit machinery with a
+	// work-filling idle branch. Loopback envelopes diverted by a full
+	// inbox are consumed first; they carry the current xid, so ordinary
+	// handling applies.
+	for i := range st.pending {
+		st.handleStream(x, &st.pending[i], refresh)
+	}
+	st.pending = st.pending[:0]
+	settle := x.plane.Spec().SafeAttempt + 2
+	unsettled := 0
+	for i := range st.out {
+		if o := &st.out[i]; !o.acked && o.attempt < settle {
+			unsettled++
+		}
+	}
+	rto := rtoBase
+	timer := time.NewTimer(rto)
+	defer timer.Stop()
+	ackOne := func(a shardAck) {
+		if a.epoch != x.epoch || a.xid != x.xid {
+			return
+		}
+		for i := range st.out {
+			o := &st.out[i]
+			if !o.acked && o.dst == a.from && o.kind == a.kind {
+				o.acked = true
+				if o.attempt < settle {
+					unsettled--
+				}
+				break
+			}
+		}
+	}
+	for pending() > 0 || unsettled > 0 {
+		progressed := false
+		select {
+		case m := <-st.inbox:
+			st.handleStream(x, &m, refresh)
+			progressed = true
+		case a := <-st.acks:
+			ackOne(a)
+			progressed = true
+		case <-x.abort:
+			return false
+		default:
+			if fill {
+				t0 := streamNow()
+				if st.runOneReady() {
+					st.stream.OverlapNs += streamNow() - t0
+					continue
+				}
+			}
+			t0 := streamNow()
+			select {
+			case m := <-st.inbox:
+				st.stream.BlockedNs += streamNow() - t0
+				st.handleStream(x, &m, refresh)
+				progressed = true
+			case a := <-st.acks:
+				st.stream.BlockedNs += streamNow() - t0
+				ackOne(a)
+				progressed = true
+			case <-x.abort:
+				return false
+			case <-timer.C:
+				st.stream.BlockedNs += streamNow() - t0
+				// Quiescence timeout: retransmit everything unsettled and
+				// back off (the plane never faults attempts >= SafeAttempt).
+				for i := range st.out {
+					o := &st.out[i]
+					if o.acked || o.attempt >= settle {
+						continue
+					}
+					o.attempt++
+					st.tstats.Retransmits++
+					st.deliver(x, o)
+					if o.attempt >= settle {
+						unsettled--
+					}
+				}
+				if rto < rtoMax {
+					rto *= 2
+				}
+				timer.Reset(rto)
+			}
+		}
+		if progressed {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(rto)
+		}
+	}
+	return true
+}
+
+// sendForcesStream encodes and multicasts the force export frames. The
+// position sends are settled by the time the import wait exits, so
+// resetting the in-flight tracking here is safe; these sends settle in
+// stage B's loop under the same exchange id.
+func (st *shardState) sendForcesStream(x *xchg, refresh bool) {
+	st.beginSend()
+	for di, dst := range st.impSrcs {
+		out := st.footOut[di]
+		for oi, a := range st.footAtoms[di] {
+			out[oi] = st.lfShort[a]
+		}
+		st.footFrames[di] = appendForceFrame(st.footFrames[di][:0], out)
+		st.sendStream(x, dst, msgForce, st.footFrames[di],
+			forceRawBytes(len(out)), &st.stream.ForceRawB, &st.stream.ForceWireB)
+	}
+	if refresh {
+		for di, dst := range st.exclFootDst {
+			out := st.exclFootOut[di]
+			for oi, a := range st.exclFootAtoms[di] {
+				out[oi] = st.lfLong[a]
+			}
+			st.exclFrames[di] = appendForceFrame(st.exclFrames[di][:0], out)
+			st.sendStream(x, dst, msgForceLong, st.exclFrames[di],
+				forceRawBytes(len(out)), &st.stream.ForceRawB, &st.stream.ForceWireB)
+		}
+	}
+}
+
+// --- Stage B: force assembly. ---
+
+// finishForces is the streaming evaluation's second stage: (refresh)
+// mesh interpolation, the owner's canonical force assembly, application
+// of the force frames buffered during stage A, then the receive loop for
+// the remainder (which also settles the force sends), and finally the
+// virtual-site spreads — only after every contribution is merged, since
+// the spread rounding is nonlinear in the total.
+func (st *shardState) finishForces(x *xchg, refresh bool) {
+	e := st.s.E
+	if refresh {
+		st.interpolate()
+	}
+	for _, a := range st.owned {
+		e.fShort[a] = st.lfShort[a]
+	}
+	if refresh {
+		// Only the entries this shard's exclusion terms touched are valid
+		// in lfLong (it is sparse-zeroed); the rest would be stale.
+		for _, a := range st.exclTouchOwned {
+			e.fLong[a] = e.fLong[a].Add(st.lfLong[a])
+		}
+	}
+	st.footDirect = true
+	for i := range st.fbuf {
+		st.applyFoot(&st.fbuf[i], refresh)
+	}
+	st.fbuf = st.fbuf[:0]
+
+	expect := st.inFoot
+	if refresh {
+		expect += st.inExclFoot
+	}
+	if !st.streamLoop(x, refresh, false, func() int { return expect - st.footGot }) {
+		return // aborted: recovery restores everything from the checkpoint
+	}
+
+	if refresh {
+		for _, vi := range st.vsites {
+			spreadVSiteForce(e.fLong, &e.Sys.Top.VSites[vi])
+		}
+	}
+	for _, vi := range st.vsites {
+		spreadVSiteForce(e.fShort, &e.Sys.Top.VSites[vi])
+	}
+}

@@ -136,24 +136,46 @@ type TransportStats struct {
 	StaleDiscards int64 `json:"stale_discards"`
 	AckDrops      int64 `json:"ack_drops"`
 	FullDrops     int64 `json:"full_drops"`
+
+	// Streaming-pipeline accounting. The ns fields measure the overlap
+	// ratio: compute-while-waiting (streaming only) vs blocked on recv
+	// (recorded on both pipelines — the barrier path's blocked time is
+	// the A/B baseline the overlap win is measured against). The byte
+	// fields measure the wire compression per traffic class (raw payload
+	// vs varint frame; loopbacks excluded; zero on the barrier path,
+	// which sends uncompressed). The byte counts are deterministic for a
+	// fixed config, the ns counts are wall clock.
+	OverlapNs      int64 `json:"overlap_ns"`
+	BlockedNs      int64 `json:"blocked_ns"`
+	PosRawBytes    int64 `json:"pos_raw_bytes"`
+	PosWireBytes   int64 `json:"pos_wire_bytes"`
+	ForceRawBytes  int64 `json:"force_raw_bytes"`
+	ForceWireBytes int64 `json:"force_wire_bytes"`
 }
 
-// TransportStats sums the per-shard transport tallies. Call it between
-// Step calls (driver-serial), e.g. from an OnStep hook.
+// TransportStats sums the per-shard transport and stream tallies. Call
+// it between Step calls (driver-serial), e.g. from an OnStep hook.
 func (s *Sharded) TransportStats() TransportStats {
 	var t transportTally
 	for _, st := range s.shards {
 		t.add(st.tstats)
 	}
+	sm := s.streamTotals()
 	return TransportStats{
-		Sends:         t.Sends,
-		Loopbacks:     t.Loopbacks,
-		Retransmits:   t.Retransmits,
-		DupDiscards:   t.DupDiscards,
-		CrcDiscards:   t.CrcDiscards,
-		StaleDiscards: t.StaleDiscards,
-		AckDrops:      t.AckDrops,
-		FullDrops:     t.FullDrops,
+		Sends:          t.Sends,
+		Loopbacks:      t.Loopbacks,
+		Retransmits:    t.Retransmits,
+		DupDiscards:    t.DupDiscards,
+		CrcDiscards:    t.CrcDiscards,
+		StaleDiscards:  t.StaleDiscards,
+		AckDrops:       t.AckDrops,
+		FullDrops:      t.FullDrops,
+		OverlapNs:      sm.OverlapNs,
+		BlockedNs:      sm.BlockedNs,
+		PosRawBytes:    sm.PosRawB,
+		PosWireBytes:   sm.PosWireB,
+		ForceRawBytes:  sm.ForceRawB,
+		ForceWireBytes: sm.ForceWireB,
 	}
 }
 
@@ -299,7 +321,17 @@ func (st *shardState) sendAck(x *xchg, m *shardMsg) {
 func (st *shardState) runProtocol(x *xchg, expect int, apply func(*shardMsg) bool) bool {
 	if !x.reliable() {
 		for applied := 0; applied < expect; {
-			m := <-st.inbox
+			var m shardMsg
+			select {
+			case m = <-st.inbox:
+			default:
+				// Nothing queued: this wait is the barrier path's
+				// blocked-on-recv time, the baseline the streaming
+				// pipeline's overlap is measured against.
+				t0 := streamNow()
+				m = <-st.inbox
+				st.stream.BlockedNs += streamNow() - t0
+			}
 			if apply(&m) {
 				applied++
 			}
@@ -325,6 +357,9 @@ func (st *shardState) runProtocol(x *xchg, expect int, apply func(*shardMsg) boo
 	defer timer.Stop()
 	for applied < expect || unsettled > 0 {
 		progressed := false
+		// The select wait is the barrier path's blocked-on-recv time (an
+		// already-queued message returns immediately and adds ~nothing).
+		t0 := streamNow()
 		select {
 		case m := <-st.inbox:
 			st.handleData(x, &m, apply, &applied)
@@ -366,6 +401,7 @@ func (st *shardState) runProtocol(x *xchg, expect int, apply func(*shardMsg) boo
 			}
 			timer.Reset(rto)
 		}
+		st.stream.BlockedNs += streamNow() - t0
 		if progressed {
 			if !timer.Stop() {
 				select {
@@ -430,6 +466,12 @@ func (st *shardState) payloadCRC(pos []fixp.Vec3, f []Force3) uint32 {
 // retransmitted intact).
 func corruptMsg(m shardMsg, raw uint64) shardMsg {
 	switch {
+	case len(m.frame) > 0:
+		cp := make([]byte, len(m.frame))
+		copy(cp, m.frame)
+		bit := raw % uint64(len(cp)*8)
+		cp[bit/8] ^= 1 << (bit % 8)
+		m.frame = cp
 	case len(m.pos) > 0:
 		cp := make([]fixp.Vec3, len(m.pos))
 		copy(cp, m.pos)

@@ -40,11 +40,11 @@ type MeshScalingRow struct {
 // path dominates, plus the bitwise-invariance column that makes the
 // speedups meaningful (same trajectory, faster).
 type MeshScalingData struct {
-	Schema   string           `json:"schema"`
-	System   string           `json:"system"`
-	Atoms    int              `json:"atoms"`
-	Mesh     int              `json:"mesh"`
-	Steps    int              `json:"steps"`
+	Schema   string `json:"schema"`
+	System   string `json:"system"`
+	Atoms    int    `json:"atoms"`
+	Mesh     int    `json:"mesh"`
+	Steps    int    `json:"steps"`
 	HostCPUs int    `json:"host_cpus"`
 	Note     string `json:"note"`
 	// StateDigest is the reference run's final state digest — the

@@ -123,6 +123,20 @@ const (
 	CtrLedgerRecords // provenance records appended
 	CtrLedgerCommits // Merkle batch commits sealed (each is one fsync)
 	CtrLedgerBytes   // bytes appended to the ledger file
+
+	// Streaming shard-pipeline counters (zero on the barrier path and in
+	// monolithic runs). The overlap ratio is stream-overlap-ns over
+	// (stream-overlap-ns + stream-blocked-ns): time a shard spent computing
+	// while imports were still in flight vs time it sat blocked on a
+	// receive. The byte counters measure the wire compression per traffic
+	// class: raw is the uncompressed payload size (12 B/position,
+	// 24 B/force component triple), wire is the varint frame actually sent.
+	CtrStreamOverlapNs // ns computing while imports were still in flight
+	CtrStreamBlockedNs // ns blocked on a receive with no ready work
+	CtrPosRawBytes     // position payload bytes before compression
+	CtrPosWireBytes    // position frame bytes on the wire
+	CtrForceRawBytes   // force payload bytes before compression
+	CtrForceWireBytes  // force frame bytes on the wire
 	NumCounters
 )
 
@@ -136,6 +150,9 @@ var counterNames = [NumCounters]string{
 	"fault-stalls", "fault-crashes", "retransmits", "dup-discards",
 	"crc-discards", "recoveries", "replay-steps", "recovery-ns",
 	"ledger-records", "ledger-commits", "ledger-bytes",
+	"stream-overlap-ns", "stream-blocked-ns",
+	"pos-raw-bytes", "pos-wire-bytes",
+	"force-raw-bytes", "force-wire-bytes",
 }
 
 // String returns the counter's stable name.

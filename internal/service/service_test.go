@@ -78,7 +78,8 @@ func TestJobSpecNormalize(t *testing.T) {
 		t.Fatal(err)
 	}
 	if good.Ensemble != "nvt" || good.Temperature != 300 || good.Seed != DefaultSeed ||
-		good.Nodes != DefaultNodes || good.CheckpointEvery != DefaultCheckpointEvery {
+		good.Nodes != DefaultNodes || good.CheckpointEvery != DefaultCheckpointEvery ||
+		good.Overlap != "on" {
 		t.Fatalf("defaults not applied: %+v", good)
 	}
 	bad := []JobSpec{
@@ -92,6 +93,7 @@ func TestJobSpecNormalize(t *testing.T) {
 		{System: "small", Steps: 10, Chaos: "drop=0.1"}, // chaos without shards
 		{System: "small", Steps: 10, Shards: 2, Chaos: "bogus"},
 		{System: "small", Steps: 10, CheckpointEvery: -5},
+		{System: "small", Steps: 10, Shards: 2, Overlap: "maybe"},
 	}
 	for i, s := range bad {
 		if err := s.Normalize(); err == nil {

@@ -83,6 +83,13 @@ type JobSpec struct {
 	// Chaos is a fault-injection spec (see faults.ParseSpec), e.g.
 	// "seed=7,drop=0.02,crashes=1". Requires Shards > 0.
 	Chaos string `json:"chaos,omitempty"`
+
+	// Overlap selects the sharded pipeline mode: "on" (the default)
+	// streams per-subbox dependency groups with compressed frames, "off"
+	// is the barrier escape hatch. A pure performance knob — the
+	// trajectory is bitwise identical either way. Ignored when Shards is
+	// zero.
+	Overlap string `json:"overlap,omitempty"`
 }
 
 // Normalize applies defaults in place and validates the spec. It is
@@ -137,6 +144,13 @@ func (j *JobSpec) Normalize() error {
 	}
 	if j.CheckpointEvery < 0 {
 		return fmt.Errorf("service: job spec: negative checkpoint_every %d", j.CheckpointEvery)
+	}
+	switch j.Overlap {
+	case "":
+		j.Overlap = "on"
+	case "on", "off":
+	default:
+		return fmt.Errorf("service: job spec: overlap must be on or off, got %q", j.Overlap)
 	}
 	if j.Chaos != "" {
 		if j.Shards == 0 {

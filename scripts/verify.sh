@@ -45,6 +45,22 @@ echo "== race: sharded virtual-node pipeline =="
 go test -race -run 'TestShardInvariance|TestShardCheckpointCrossShardCount' \
 	./internal/core
 
+echo "== race: streaming exchange (8 and 64 shards) =="
+# The streaming pipeline's readiness ledger runs compute in arrival
+# order while the receive loop mutates the same shard state; the
+# reorder campaigns (8 and 64 shards, delay/stall/dup-heavy planes) and
+# the mid-run pipeline toggle are the densest interleavings we have.
+go test -race -run 'TestStreamChaosReorder|TestStreamOverlapToggleMidRun' \
+	./internal/core
+
+echo "== stream: wire codec round-trip + determinism =="
+# The compressed-frame codecs must be lossless for every bit pattern
+# (the bitwise-trajectory contract rides on modular wraparound), and
+# the wire byte counts must be a pure function of the trajectory:
+# -count=2 runs each twice in one process so state leaks cannot hide.
+go test -count=2 -run 'TestCodecRoundTrip|TestCodecDeltaChaining|TestStreamWireDeterminism' \
+	./internal/core
+
 echo "== race: telemetry lifecycle =="
 # The Telemetry shutdown/serve lifecycle is hit concurrently by the
 # daemon's per-job handlers: double Shutdown, Shutdown-before-Serve and
