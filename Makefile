@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify serve bench-pair bench-mesh profile trace bench-obs shards chaos scaling ledger bench-ledger
+.PHONY: build test test-short verify serve bench-pair bench-mesh profile trace bench-obs shards chaos servicechaos scaling ledger bench-ledger
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,16 @@ shards:
 chaos:
 	$(GO) run ./cmd/antonbench -experiment chaos
 	$(GO) run ./cmd/antonbench -chaos-json BENCH_chaos.json
+
+# Service chaos: antond jobs on a hostile disk — seeded ENOSPC/EIO/torn
+# writes/stalls plus scheduled crashes at rotating persist points, with
+# the daemon killed and rebooted after every crash. Regenerates the
+# committed BENCH_servicechaos.json record; every surviving job must
+# report a bitwise match against the undisturbed run and a verifying
+# ledger.
+servicechaos:
+	$(GO) run ./cmd/antonbench -experiment servicechaos
+	$(GO) run ./cmd/antonbench -servicechaos-json BENCH_servicechaos.json
 
 # The pair-kernel benchmarks backing BENCH_pairkernel.json.
 bench-pair:

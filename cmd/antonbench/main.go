@@ -160,6 +160,13 @@ var registry = []experiment{
 		}
 		return experiments.LedgerBench(steps)
 	}},
+	{"servicechaos", true, func(full bool) (string, error) {
+		steps := 40
+		if full {
+			steps = 120
+		}
+		return experiments.ServiceChaos(steps)
+	}},
 	{"water", true, func(full bool) (string, error) {
 		steps, every := 160, 8
 		if full {
@@ -178,6 +185,7 @@ func main() {
 		chaosJSON   = flag.String("chaos-json", "", "run the chaos-soak experiment and write its structured record to this file (the BENCH_chaos.json generator)")
 		scalingJSON = flag.String("meshscaling-json", "", "run the mesh strong-scaling experiment and write its structured record to this file (the BENCH_meshscaling.json generator)")
 		ledgerJSON  = flag.String("ledger-json", "", "run the ledger-overhead experiment and write its structured record to this file (the BENCH_ledger.json generator)")
+		svcJSON     = flag.String("servicechaos-json", "", "run the service-chaos campaign and write its structured record to this file (the BENCH_servicechaos.json generator)")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -193,6 +201,7 @@ func main() {
 		{"mesh scaling record", *scalingJSON, 6, 24, experiments.MeshScalingJSON},
 		{"chaos soak record", *chaosJSON, 60, 200, experiments.ChaosJSON},
 		{"ledger overhead record", *ledgerJSON, 24, 120, experiments.LedgerBenchJSON},
+		{"service chaos record", *svcJSON, 40, 120, experiments.ServiceChaosJSON},
 	}
 	ranRecord := false
 	for _, r := range records {

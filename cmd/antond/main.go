@@ -10,6 +10,7 @@
 //
 //	antond -listen localhost:8780 -state antond-state
 //	antond -listen localhost:8780 -state antond-state -tokens s3cret -rate 30
+//	antond -queue-max 64 -job-deadline 1h -job-retries 5 -stall-after 2m
 //
 // Submit and watch a job:
 //
@@ -46,6 +47,11 @@ func main() {
 		tokens    = flag.String("tokens", "", "comma-separated bearer tokens (empty = open access)")
 		rate      = flag.Float64("rate", 0, "job submissions per token per minute (0 = unlimited)")
 		burst     = flag.Int("burst", 5, "submission burst allowance per token")
+		queueMax  = flag.Int("queue-max", 0, "admission control: max queued jobs before submissions are shed with 429 (0 = unbounded)")
+		deadline  = flag.Duration("job-deadline", 0, "per-job wall-clock deadline; an overrunning job fails permanently (0 = none)")
+		retries   = flag.Int("job-retries", 5, "consecutive retryable failures before a job is quarantined as failed_poisoned")
+		stall     = flag.Duration("stall-after", 0, "alert when a running job makes no checkpoint progress for this long (0 = off)")
+		chaos     = flag.String("storage-chaos", "", "storage fault-injection spec, e.g. 'seed=1,enospc=0.01,torn=0.01' (testing only)")
 		drainFor  = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		logFormat = flag.String("log", "text", "log format: text or json")
 		verbose   = flag.Bool("v", false, "debug-level logging")
@@ -63,13 +69,22 @@ func main() {
 		logger.Warn("no -tokens configured; the API is open to anyone who can reach it")
 	}
 
+	if *chaos != "" {
+		logger.Warn("storage fault injection enabled; this daemon is hostile to its own disk", "spec", *chaos)
+	}
+
 	d, err := service.New(service.Config{
-		StateDir:   *stateDir,
-		Workers:    *workers,
-		Tokens:     toks,
-		RatePerMin: *rate,
-		Burst:      *burst,
-		Logger:     logger,
+		StateDir:     *stateDir,
+		Workers:      *workers,
+		Tokens:       toks,
+		RatePerMin:   *rate,
+		Burst:        *burst,
+		QueueMax:     *queueMax,
+		JobDeadline:  *deadline,
+		JobRetries:   *retries,
+		StallAfter:   *stall,
+		StorageChaos: *chaos,
+		Logger:       logger,
 	})
 	if err != nil {
 		logger.Error("starting daemon", "err", err)

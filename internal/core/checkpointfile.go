@@ -6,7 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
+
+	"anton/internal/faults"
 )
 
 // Crash-consistent checkpoint files. A checkpoint that a crash can tear
@@ -37,41 +38,12 @@ func AtomicWriteFile(path string, data []byte) error {
 }
 
 // writeFileAtomic writes data to path with the temp-fsync-rename-fsync
-// sequence above.
+// sequence above. The implementation lives in the faults package (a nil
+// plane is the quiet path), so the fault-injected and production writes
+// are one code path — the storage chaos campaign exercises exactly the
+// sequence production runs.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if _, err := tmp.Write(data); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	tmp = nil // committed to rename; disarm the cleanup
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
-	}
-	if d, err := os.Open(dir); err == nil {
-		// Directory fsync is advisory on some filesystems; a failure does
-		// not undo an otherwise complete write.
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return (*faults.FS)(nil).WriteFile(path, data)
 }
 
 // WriteCheckpointFile writes a checkpoint to path crash-consistently.

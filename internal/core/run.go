@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"io"
 
 	"anton/internal/fixp"
 )
@@ -25,6 +26,12 @@ type Sim interface {
 	// RestoreCheckpointFile validates (fingerprint + CRC) and restores a
 	// checkpoint, leaving the state untouched on any failure.
 	RestoreCheckpointFile(path string) error
+	// WriteCheckpoint / RestoreCheckpoint are the stream forms of the
+	// same format — drivers that own the file I/O (e.g. antond's worker
+	// persisting through a fault-injecting filesystem) serialize once
+	// and write the bytes themselves.
+	WriteCheckpoint(w io.Writer) error
+	RestoreCheckpoint(r io.Reader) error
 	// StateDigest fingerprints the dynamic state; equal digests at equal
 	// steps mean bitwise-identical trajectories.
 	StateDigest() uint64

@@ -47,6 +47,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"anton/internal/faults"
 )
 
 // Kind tags a record's payload.
@@ -199,6 +201,7 @@ type Writer struct {
 
 	f    *os.File
 	path string
+	fs   *faults.FS // optional storage fault plane (nil = plain I/O)
 
 	batch   int
 	pending []string // hashes of records since the last commit
@@ -218,6 +221,13 @@ type Options struct {
 	// committed and fsynced — the expensive baseline the benchmark
 	// compares against); 0 selects DefaultBatch.
 	Batch int
+
+	// FS routes the writer's appends, fsyncs and head rewrites through a
+	// storage fault plane (nil = plain I/O). Injected transient faults
+	// are retried within the plane's liveness budget, with partial
+	// appends rolled back first; an injected crash kills the writer like
+	// any hard error.
+	FS *faults.FS
 }
 
 // DefaultBatch is the Merkle batch size when Options.Batch is 0: large
@@ -254,7 +264,7 @@ func Create(path string, opts Options) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("ledger: clearing stale head: %w", err)
 	}
-	return &Writer{f: f, path: path, batch: opts.Batch}, nil
+	return &Writer{f: f, path: path, fs: opts.FS, batch: opts.Batch}, nil
 }
 
 // Open re-opens an existing ledger for appending — the resume path. It
@@ -290,6 +300,7 @@ func Open(path string, opts Options) (*Writer, error) {
 	w := &Writer{
 		f:        f,
 		path:     path,
+		fs:       opts.FS,
 		batch:    opts.Batch,
 		seq:      rep.Records,
 		prevHash: rep.TipHash,
@@ -344,7 +355,7 @@ func (w *Writer) appendLocked(r Record) error {
 	}
 	h := hashLine(b)
 	b = append(b, '\n')
-	if _, err := w.f.Write(b); err != nil {
+	if err := w.write(b); err != nil {
 		return w.fail(fmt.Errorf("ledger: appending record %d: %w", r.Seq, err))
 	}
 	w.seq++
@@ -386,7 +397,7 @@ func (w *Writer) commitLocked() error {
 	if err := w.appendLocked(rec); err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.sync(); err != nil {
 		return w.fail(fmt.Errorf("ledger: fsync: %w", err))
 	}
 	head := Head{Seq: w.seq - 1, Hash: w.prevHash, Root: root}
@@ -394,7 +405,7 @@ func (w *Writer) commitLocked() error {
 	if err != nil {
 		return w.fail(err)
 	}
-	if err := atomicWrite(HeadPath(w.path), append(hb, '\n')); err != nil {
+	if err := w.writeHead(append(hb, '\n')); err != nil {
 		return w.fail(fmt.Errorf("ledger: writing head: %w", err))
 	}
 	w.prevRoot = root
@@ -481,41 +492,71 @@ func (w *Writer) AppendResume(restoredStep, resumes int) error {
 		Resume: &Resume{RestoredStep: restoredStep, Resumes: resumes}})
 }
 
-// atomicWrite is the temp+fsync+rename+dir-fsync discipline (the same
-// guarantee as core.AtomicWriteFile, duplicated here because core
-// imports this package).
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
+// write appends b to the data file through the fault plane. An injected
+// partial append is rolled back (truncate to the pre-write offset) and
+// retried within the plane's liveness budget — the recovery any real
+// writer performs after a short write. A crash, or exhausting the
+// budget, surfaces as the writer's hard error.
+func (w *Writer) write(b []byte) error {
+	if w.fs == nil {
+		_, err := w.f.Write(b)
 		return err
 	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+	off, serr := w.f.Seek(0, io.SeekCurrent)
+	var err error
+	for attempt := 0; attempt < w.fs.RetryBudget(); attempt++ {
+		if _, err = w.fs.Append(w.f, w.path, b); err == nil {
+			return nil
 		}
-	}()
-	if _, err := tmp.Write(data); err != nil {
-		return err
+		if serr == nil {
+			if terr := w.f.Truncate(off); terr != nil {
+				return err
+			}
+			if _, terr := w.f.Seek(off, io.SeekStart); terr != nil {
+				return err
+			}
+		}
+		if faults.IsCrash(err) || !faults.IsInjected(err) {
+			return err
+		}
 	}
-	if err := tmp.Sync(); err != nil {
-		return err
+	return err
+}
+
+// sync fsyncs the data file through the fault plane, retrying injected
+// EIO within the liveness budget. A silently dropped fsync reports
+// success here — only a later crash exposes it, which is exactly the
+// hole the head sidecar + verification close.
+func (w *Writer) sync() error {
+	if w.fs == nil {
+		return w.f.Sync()
 	}
-	name := tmp.Name()
-	if err := tmp.Close(); err != nil {
-		return err
+	var err error
+	for attempt := 0; attempt < w.fs.RetryBudget(); attempt++ {
+		if err = w.fs.Sync(w.f, w.path); err == nil {
+			return nil
+		}
+		if faults.IsCrash(err) || !faults.IsInjected(err) {
+			return err
+		}
 	}
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
+	return err
+}
+
+// writeHead rewrites the head sidecar atomically (temp+fsync+rename,
+// core.AtomicWriteFile's contract — a nil plane is that exact code
+// path), retrying injected transient faults.
+func (w *Writer) writeHead(b []byte) error {
+	var err error
+	for attempt := 0; attempt < w.fs.RetryBudget(); attempt++ {
+		if err = w.fs.WriteFile(HeadPath(w.path), b); err == nil {
+			return nil
+		}
+		if faults.IsCrash(err) || !faults.IsInjected(err) {
+			return err
+		}
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return err
 }
 
 // ReadAll decodes every complete record in r, in order, returning each

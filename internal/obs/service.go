@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ServiceStats are the daemon-level supervision counters: what the
+// hostile-environment service plane did about storage faults and load.
+// They live in obs (not service) so the Prometheus rendering sits next
+// to the engine-level counter rendering and shares its conventions:
+// monotonic atomics, scraped whole, never reset.
+//
+// The engine-level Counter enum tracks what happens *inside* one
+// simulation; these track what the daemon does *around* jobs — retries,
+// requeues, quarantines, shed submissions — which is the difference
+// between a storage fault and a lost trajectory.
+type ServiceStats struct {
+	// PersistRetries counts op-level retries of a persist stage
+	// (checkpoint write, status write, checkpoint read-back) after a
+	// transient storage fault.
+	PersistRetries atomic.Int64
+
+	// JobRequeues counts job-level retryable failures: the job went back
+	// to the queue with a backoff delay instead of failing outright.
+	JobRequeues atomic.Int64
+
+	// Quarantines counts jobs moved to failed_poisoned — persistent
+	// artifacts (status record, checkpoint, ledger) too damaged to trust,
+	// or too many consecutive failures.
+	Quarantines atomic.Int64
+
+	// Shed counts submissions refused by admission control (bounded
+	// queue full → HTTP 429).
+	Shed atomic.Int64
+
+	// IdempotentHits counts duplicate submissions answered from the
+	// store via their idempotency key instead of creating a new job.
+	IdempotentHits atomic.Int64
+
+	// StallAlerts counts progress-heartbeat stall detections: a running
+	// job that made no boundary progress within the supervision window.
+	StallAlerts atomic.Int64
+
+	// StorageFaults counts injected or real storage faults surfaced to
+	// the supervision layer (after any writer-internal retries).
+	StorageFaults atomic.Int64
+}
+
+// serviceCounterDefs drives the Prometheus rendering; one row per
+// counter keeps name, help text and value source in one place.
+func (s *ServiceStats) rows() []struct {
+	name, help string
+	v          int64
+} {
+	return []struct {
+		name, help string
+		v          int64
+	}{
+		{"persist_retries_total", "Op-level persist retries after transient storage faults.", s.PersistRetries.Load()},
+		{"job_requeues_total", "Jobs requeued with backoff after a retryable failure.", s.JobRequeues.Load()},
+		{"quarantines_total", "Jobs quarantined as failed_poisoned.", s.Quarantines.Load()},
+		{"shed_total", "Submissions refused by admission control (queue full).", s.Shed.Load()},
+		{"idempotent_hits_total", "Duplicate submissions answered via idempotency key.", s.IdempotentHits.Load()},
+		{"stall_alerts_total", "Progress-heartbeat stall detections.", s.StallAlerts.Load()},
+		{"storage_faults_total", "Storage faults surfaced to job supervision.", s.StorageFaults.Load()},
+	}
+}
+
+// WritePrometheus renders the counters in Prometheus text format under
+// the given namespace (e.g. "antond" -> antond_persist_retries_total).
+func (s *ServiceStats) WritePrometheus(w io.Writer, ns string) {
+	for _, r := range s.rows() {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %d\n",
+			ns, r.name, r.help, ns, r.name, ns, r.name, r.v)
+	}
+}

@@ -2,12 +2,17 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
+	"anton/internal/faults"
 	"anton/internal/obs"
 )
 
@@ -31,8 +36,68 @@ type Config struct {
 	RatePerMin float64
 	Burst      int
 
+	// QueueMax bounds the number of queued jobs (0 = unbounded).
+	// Submissions beyond it are shed with ErrQueueFull (HTTP 429 +
+	// Retry-After) — admission control, not an error state.
+	QueueMax int
+
+	// JobDeadline is the default per-job wall-clock budget (0 = none;
+	// JobSpec.DeadlineSec overrides per job). A job past its deadline
+	// fails permanently at its next chunk boundary.
+	JobDeadline time.Duration
+
+	// JobRetries bounds consecutive retryable failures before a job is
+	// quarantined as failed_poisoned (default 5).
+	JobRetries int
+
+	// StallAfter is the progress-heartbeat window: a running job that
+	// reaches no chunk boundary within it raises a stall alert (0 =
+	// stall detection off).
+	StallAfter time.Duration
+
+	// AgeAfter is the queue's priority-aging step: a waiting job gains
+	// one effective priority level per AgeAfter (0 = no aging).
+	AgeAfter time.Duration
+
+	// StorageChaos attaches a storage fault plane from a faults.FSSpec
+	// string (see faults.ParseFSSpec), e.g.
+	// "seed=11,enospc=0.05,torn=0.05,crashes=6,horizon=40".
+	// Empty = quiet. StorageFS takes precedence when both are set.
+	StorageChaos string
+
+	// StorageFS attaches an existing storage fault plane — the chaos
+	// harness shares one plane across daemon restarts so the crash
+	// schedule spans the whole campaign.
+	StorageFS *faults.FS
+
+	// RetryBase is the persist-retry backoff base (default 50ms; the
+	// delay doubles per attempt with deterministic jitter).
+	RetryBase time.Duration
+
+	// PersistAttempts bounds op-level persist attempts (default 10 —
+	// above the fault plane's worst-case consecutive-fault streak across
+	// the write+fsync+rename sequence, so transient campaigns always
+	// converge).
+	PersistAttempts int
+
 	// Logger receives operational logs (default: slog.Default()).
 	Logger *slog.Logger
+}
+
+// ErrQueueFull is returned by Submit when admission control sheds the
+// job (the bounded queue is at capacity).
+var ErrQueueFull = errors.New("service: queue full")
+
+// errPoisoned marks a failure cause whose artifact can no longer be
+// trusted — the job must be quarantined, not retried.
+var errPoisoned = errors.New("poisoned artifact")
+
+func poisonedErr(err error) error { return fmt.Errorf("%w: %w", errPoisoned, err) }
+
+// transientFault reports whether err is worth retrying: an injected
+// storage fault, or the real errno it models.
+func transientFault(err error) bool {
+	return faults.IsInjected(err) || errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO)
 }
 
 // Daemon is the long-lived simulation service: a durable job store, a
@@ -46,6 +111,8 @@ type Daemon struct {
 	q     *queue
 	auth  *auth
 	tset  *obs.TelemetrySet
+	fs    *faults.FS
+	stats *obs.ServiceStats
 	log   *slog.Logger
 
 	ctx      context.Context
@@ -57,9 +124,25 @@ type Daemon struct {
 	// utilization gauges).
 	busy atomic.Int64
 
+	// beats holds per-job progress heartbeats (map[string]*jobBeat) for
+	// the stall supervisor.
+	beats sync.Map
+
 	mu       sync.Mutex
 	canceled map[string]bool
 	started  bool
+}
+
+// jobBeat is one running job's progress heartbeat: the last boundary
+// instant plus a latch so each stall episode alerts once.
+type jobBeat struct {
+	last    atomic.Int64 // unix nanos of the last boundary (or start)
+	alerted atomic.Bool
+}
+
+func (b *jobBeat) touch() {
+	b.last.Store(time.Now().UnixNano())
+	b.alerted.Store(false)
 }
 
 // New opens the store under cfg.StateDir, re-queues every job that was
@@ -73,10 +156,21 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 5
 	}
+	if cfg.JobRetries <= 0 {
+		cfg.JobRetries = 5
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	st, err := OpenStore(cfg.StateDir)
+	fsp := cfg.StorageFS
+	if fsp == nil && cfg.StorageChaos != "" {
+		spec, err := faults.ParseFSSpec(cfg.StorageChaos)
+		if err != nil {
+			return nil, fmt.Errorf("service: storage chaos: %w", err)
+		}
+		fsp = faults.NewFS(spec)
+	}
+	st, err := OpenStoreFS(cfg.StateDir, fsp)
 	if err != nil {
 		return nil, err
 	}
@@ -84,13 +178,19 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:      cfg,
 		store:    st,
-		q:        newQueue(),
+		q:        newQueue(cfg.AgeAfter),
 		auth:     newAuth(cfg.Tokens, cfg.RatePerMin, cfg.Burst),
 		tset:     obs.NewTelemetrySet(),
+		fs:       fsp,
+		stats:    &obs.ServiceStats{},
 		log:      cfg.Logger,
 		ctx:      ctx,
 		cancel:   cancel,
 		canceled: make(map[string]bool),
+	}
+	for _, id := range st.Quarantined() {
+		d.stats.Quarantines.Add(1)
+		d.log.Error("job quarantined by store scan", "job", id)
 	}
 	recovered, err := st.Recover()
 	if err != nil {
@@ -105,7 +205,8 @@ func New(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
-// Start launches the worker pool. Idempotent.
+// Start launches the worker pool and, when stall detection is
+// configured, the heartbeat supervisor. Idempotent.
 func (d *Daemon) Start() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -116,6 +217,42 @@ func (d *Daemon) Start() {
 	for i := 0; i < d.cfg.Workers; i++ {
 		d.wg.Add(1)
 		go d.worker()
+	}
+	if d.cfg.StallAfter > 0 {
+		d.wg.Add(1)
+		go d.stallSupervisor()
+	}
+}
+
+// stallSupervisor watches the per-job heartbeats: a running job that
+// reaches no chunk boundary within StallAfter raises one alert per
+// stall episode. Detection is advisory (the engine is cooperative; a
+// wedged Step cannot be preempted) — the deadline check at the next
+// boundary is what eventually fails a stuck job.
+func (d *Daemon) stallSupervisor() {
+	defer d.wg.Done()
+	tick := d.cfg.StallAfter / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-t.C:
+		}
+		cut := time.Now().Add(-d.cfg.StallAfter).UnixNano()
+		d.beats.Range(func(k, v any) bool {
+			b := v.(*jobBeat)
+			if b.last.Load() < cut && b.alerted.CompareAndSwap(false, true) {
+				d.stats.StallAlerts.Add(1)
+				d.log.Warn("job stalled: no boundary progress within window",
+					"job", k, "window", d.cfg.StallAfter)
+			}
+			return true
+		})
 	}
 }
 
@@ -151,19 +288,35 @@ func (d *Daemon) Kill() {
 	d.wg.Wait()
 }
 
-// Submit validates, persists and enqueues a job, returning its status.
-func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
+// Submit validates, persists and enqueues a job. The returned bool
+// reports whether a new job was created: a submission whose idempotency
+// key matches an existing job returns that job with created=false, and
+// a full bounded queue sheds the submission with ErrQueueFull.
+func (d *Daemon) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if err := spec.Normalize(); err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if key := spec.IdempotencyKey; key != "" {
+		if js, ok := d.store.ByKey(key); ok {
+			d.stats.IdempotentHits.Add(1)
+			d.log.Info("duplicate submission answered idempotently", "job", js.ID, "key", key)
+			return js, false, nil
+		}
+	}
+	if d.cfg.QueueMax > 0 && d.q.depth() >= d.cfg.QueueMax {
+		d.stats.Shed.Add(1)
+		return JobStatus{}, false, ErrQueueFull
 	}
 	js, err := d.store.Create(spec)
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, err
 	}
 	d.q.push(js.ID, spec.Priority)
 	d.log.Info("job submitted", "job", js.ID, "system", spec.System,
 		"steps", spec.Steps, "shards", spec.Shards, "priority", spec.Priority)
-	return js, nil
+	return js, true, nil
 }
 
 // Cancel requests cancellation: a queued job is canceled immediately; a
@@ -201,18 +354,152 @@ func (d *Daemon) Job(id string) (JobStatus, bool) { return d.store.Get(id) }
 // Jobs lists every job in submission order.
 func (d *Daemon) Jobs() []JobStatus { return d.store.List() }
 
+// AwaitJob blocks until the job satisfies pred or the timeout passes —
+// condition-variable signaling through the store, no polling.
+func (d *Daemon) AwaitJob(id string, timeout time.Duration, pred func(JobStatus) bool) (JobStatus, bool) {
+	return d.store.WaitJob(id, timeout, pred)
+}
+
 // QueueDepth reports how many jobs are waiting for a worker.
 func (d *Daemon) QueueDepth() int { return d.q.depth() }
 
 // BusyWorkers reports how many workers are executing a job right now.
 func (d *Daemon) BusyWorkers() int { return int(d.busy.Load()) }
 
+// Stats exposes the supervision counters (for tests and experiments).
+func (d *Daemon) Stats() *obs.ServiceStats { return d.stats }
+
+// FS returns the attached storage fault plane (nil when quiet) — the
+// chaos harness reboots and re-shares it across daemon restarts.
+func (d *Daemon) FS() *faults.FS { return d.fs }
+
+// StorageCrashed reports whether the storage fault plane has fired a
+// crash: the simulated machine is down and the harness should Kill this
+// daemon, Reboot the plane, and start a fresh one over the same state
+// dir.
+func (d *Daemon) StorageCrashed() bool { return d.fs.Crashed() }
+
+// jobRetries is the consecutive-failure quarantine threshold.
+func (d *Daemon) jobRetries() int { return d.cfg.JobRetries }
+
+// persistAttempts bounds op-level persist retries.
+func (d *Daemon) persistAttempts() int {
+	if d.cfg.PersistAttempts > 0 {
+		return d.cfg.PersistAttempts
+	}
+	return 10
+}
+
+// backoffDelay is the retry backoff: exponential in the attempt number
+// with deterministic per-(job, attempt) jitter, so colliding retries
+// de-synchronize identically on every replay of a campaign.
+func (d *Daemon) backoffDelay(id string, attempt int) time.Duration {
+	base := d.cfg.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return base<<shift + jitter
+}
+
+// retryPersist runs one persist stage with bounded retries + backoff
+// for transient storage faults. Crashes and non-transient errors
+// surface immediately; exhaustion surfaces the last fault.
+func (d *Daemon) retryPersist(id string, op func() error) error {
+	attempts := d.persistAttempts()
+	for a := 1; ; a++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if transientFault(err) && !faults.IsCrash(err) {
+			d.stats.StorageFaults.Add(1)
+		}
+		if faults.IsCrash(err) || !transientFault(err) || a >= attempts {
+			return err
+		}
+		d.stats.PersistRetries.Add(1)
+		time.Sleep(d.backoffDelay(id, a))
+	}
+}
+
+// supervise routes a job failure by class:
+//
+//   - injected crash: the process is "dead" — abandon the job silently;
+//     the next daemon's recovery scan owns it;
+//   - poisoned artifact: quarantine (failed_poisoned), never re-run;
+//   - transient storage fault: requeue with backoff, bounded by the
+//     consecutive-failure budget;
+//   - anything else: permanent failure.
+func (d *Daemon) supervise(js *JobStatus, cause error) {
+	switch {
+	case faults.IsCrash(cause):
+		d.log.Error("storage crash; abandoning job to recovery", "job", js.ID, "err", cause)
+	case errors.Is(cause, errPoisoned):
+		d.quarantine(js, cause)
+	case transientFault(cause):
+		d.requeue(js, cause)
+	default:
+		d.finish(js, StateFailed, cause)
+	}
+}
+
+// requeue sends a transiently failed job back to the queue with
+// exponential backoff; the consecutive-failure counter trips the
+// quarantine once the retry budget is spent.
+func (d *Daemon) requeue(js *JobStatus, cause error) {
+	js.Failures++
+	if js.Failures >= d.jobRetries() {
+		d.quarantine(js, fmt.Errorf("%d consecutive failures, last: %w", js.Failures, cause))
+		return
+	}
+	d.stats.JobRequeues.Add(1)
+	js.State = StateQueued
+	js.Error = cause.Error()
+	if err := d.retryPersist(js.ID, func() error { return d.store.Put(*js) }); err != nil {
+		if faults.IsCrash(err) {
+			// The machine is down; recovery owns the job.
+			d.log.Error("requeue flip crashed; leaving job to recovery", "job", js.ID, "err", err)
+			return
+		}
+		// The disk refused even the queued flip. Flip the cache only: the
+		// file still says "running", which a recovery scan re-queues all
+		// the same, and abandoning the flip here would wedge the job for
+		// the daemon's whole lifetime.
+		d.log.Error("persist requeue flip; continuing with cached state", "job", js.ID, "err", err)
+		d.store.PutCached(*js)
+	}
+	delay := d.backoffDelay(js.ID, js.Failures)
+	d.q.pushDelayed(js.ID, js.Spec.Priority, delay)
+	d.log.Warn("job requeued with backoff", "job", js.ID,
+		"failures", js.Failures, "backoff", delay, "err", cause)
+}
+
+// quarantine moves a job to failed_poisoned: its artifacts can't be
+// trusted (or its failures exhausted the retry budget), so it is never
+// re-run — one bad job must not wedge the pool.
+func (d *Daemon) quarantine(js *JobStatus, cause error) {
+	d.stats.Quarantines.Add(1)
+	d.finish(js, StateQuarantined, cause)
+}
+
 // writeDaemonMetrics renders daemon-level Prometheus metrics (job counts
-// by state, queue depth, worker-pool size, busy workers, utilization).
+// by state, queue depth, worker-pool size, busy workers, utilization,
+// the supervision counters, and the storage fault tallies when a chaos
+// plane is attached).
 func (d *Daemon) writeDaemonMetrics(w io.Writer) {
 	counts := d.store.Counts()
 	fmt.Fprintf(w, "# HELP antond_jobs Jobs by state.\n# TYPE antond_jobs gauge\n")
-	for _, s := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+	for _, s := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateQuarantined} {
 		fmt.Fprintf(w, "antond_jobs{state=%q} %d\n", s, counts[s])
 	}
 	fmt.Fprintf(w, "# HELP antond_queue_depth Jobs waiting for a worker.\n# TYPE antond_queue_depth gauge\n")
@@ -224,4 +511,18 @@ func (d *Daemon) writeDaemonMetrics(w io.Writer) {
 	fmt.Fprintf(w, "antond_workers_busy %d\n", busy)
 	fmt.Fprintf(w, "# HELP antond_worker_utilization Busy fraction of the worker pool.\n# TYPE antond_worker_utilization gauge\n")
 	fmt.Fprintf(w, "antond_worker_utilization %g\n", float64(busy)/float64(d.cfg.Workers))
+	d.stats.WritePrometheus(w, "antond")
+	if d.fs != nil {
+		c := d.fs.Counts()
+		fmt.Fprintf(w, "# HELP antond_storage_chaos_faults Injected storage faults by class.\n# TYPE antond_storage_chaos_faults counter\n")
+		for _, kv := range []struct {
+			class string
+			v     int64
+		}{
+			{"enospc", c.Enospc}, {"eio", c.Eio}, {"torn", c.Torn},
+			{"fsync_drop", c.FsyncDrops}, {"stall", c.Stalls}, {"crash", c.CrashesFired},
+		} {
+			fmt.Fprintf(w, "antond_storage_chaos_faults{class=%q} %d\n", kv.class, kv.v)
+		}
+	}
 }

@@ -24,6 +24,11 @@ func (st *Store) LedgerPath(id string) string {
 	return filepath.Join(st.Dir(id), "run.ledger")
 }
 
+// LedgerPath exposes the job's run-ledger file path on the daemon, for
+// audit tooling that verifies ledgers out-of-band (antonaudit, the
+// servicechaos experiment).
+func (d *Daemon) LedgerPath(id string) string { return d.store.LedgerPath(id) }
+
 // openJobLedger opens the job's provenance chain. A fresh job creates
 // the ledger and writes its genesis record (the full job spec, the
 // engine's config fingerprint, and the system identity — everything a
@@ -36,7 +41,7 @@ func (d *Daemon) openJobLedger(js *JobStatus, eng *core.Engine, resumed bool) (*
 	path := d.store.LedgerPath(js.ID)
 	if resumed {
 		if _, err := os.Stat(path); err == nil {
-			lw, err := ledger.Open(path, ledger.Options{})
+			lw, err := ledger.Open(path, ledger.Options{FS: d.fs})
 			if err != nil {
 				return nil, fmt.Errorf("audit on resume: %w", err)
 			}
@@ -50,7 +55,7 @@ func (d *Daemon) openJobLedger(js *JobStatus, eng *core.Engine, resumed bool) (*
 		// A checkpoint without a ledger: a job from before provenance
 		// existed. Start the chain now rather than failing history.
 	}
-	lw, err := ledger.Create(path, ledger.Options{})
+	lw, err := ledger.Create(path, ledger.Options{FS: d.fs})
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ import (
 func TestJobLedgerProvenance(t *testing.T) {
 	skipShort(t)
 	d := newTestDaemon(t, Config{StateDir: t.TempDir(), Workers: 1})
-	js, err := d.Submit(JobSpec{System: "small", Steps: 60, CheckpointEvery: 20, Seed: 7})
+	js, _, err := d.Submit(JobSpec{System: "small", Steps: 60, CheckpointEvery: 20, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestJobLedgerResumeAudit(t *testing.T) {
 	spec := JobSpec{System: "small", Steps: 100, CheckpointEvery: 10, Seed: 5}
 
 	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
-	js, err := d1.Submit(spec)
+	js, _, err := d1.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,13 +151,14 @@ func TestJobLedgerResumeAudit(t *testing.T) {
 }
 
 // TestJobLedgerTamperFailsResume: extending a tampered history would
-// launder it, so a resumed job whose ledger fails its audit must fail —
-// with an error naming the ledger, not a quiet fresh start.
+// launder it, so a resumed job whose ledger fails its audit is
+// quarantined as failed_poisoned — with an error naming the ledger, not
+// a quiet fresh start, and never a retry (the damage is at rest).
 func TestJobLedgerTamperFailsResume(t *testing.T) {
 	skipShort(t)
 	dir := t.TempDir()
 	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
-	js, err := d1.Submit(JobSpec{System: "small", Steps: 2000, CheckpointEvery: 10})
+	js, _, err := d1.Submit(JobSpec{System: "small", Steps: 2000, CheckpointEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,9 +180,12 @@ func TestJobLedgerTamperFailsResume(t *testing.T) {
 	d2.Start()
 	defer d2.Kill()
 	final := waitJob(t, d2, js.ID, time.Minute, func(j JobStatus) bool { return j.State.terminal() })
-	if final.State != StateFailed || !strings.Contains(final.Error, "ledger") {
-		t.Fatalf("job over a tampered ledger ended %s (err %q), want failed with a ledger error",
+	if final.State != StateQuarantined || !strings.Contains(final.Error, "ledger") {
+		t.Fatalf("job over a tampered ledger ended %s (err %q), want failed_poisoned with a ledger error",
 			final.State, final.Error)
+	}
+	if q := d2.Stats().Quarantines.Load(); q < 1 {
+		t.Fatalf("quarantine counter %d, want >= 1", q)
 	}
 }
 
@@ -190,11 +194,11 @@ func TestJobLedgerTamperFailsResume(t *testing.T) {
 func TestDaemonWorkerMetrics(t *testing.T) {
 	skipShort(t)
 	d := newTestDaemon(t, Config{StateDir: t.TempDir(), Workers: 1})
-	running, err := d.Submit(JobSpec{System: "small", Steps: 4000, CheckpointEvery: 10})
+	running, _, err := d.Submit(JobSpec{System: "small", Steps: 4000, CheckpointEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Submit(JobSpec{System: "small", Steps: 10}); err != nil {
+	if _, _, err := d.Submit(JobSpec{System: "small", Steps: 10}); err != nil {
 		t.Fatal(err)
 	}
 	d.Start()

@@ -1,74 +1,144 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // queue is the prioritized FIFO job queue feeding the worker pool:
-// higher Priority pops first, and jobs of equal priority pop in
-// submission order (the seq counter breaks ties). It deliberately holds
-// job IDs, not jobs — the store is the single source of truth, and a
-// daemon restart rebuilds the queue from the store's recovery scan.
+// higher effective priority pops first, and jobs of equal priority pop
+// in submission order (the seq counter breaks ties). It deliberately
+// holds job IDs, not jobs — the store is the single source of truth,
+// and a daemon restart rebuilds the queue from the store's recovery
+// scan.
+//
+// Two supervision features live here:
+//
+//   - priority aging: an item's effective priority grows by one per
+//     ageAfter waited, so a flood of high-priority submissions cannot
+//     starve the low-priority backlog forever;
+//   - delayed requeue: pushDelayed holds an item invisible until its
+//     notBefore instant — the job-level retry backoff.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []queueItem
 	seq    uint64
 	closed bool
+
+	// now is injectable for deterministic aging tests.
+	now func() time.Time
+	// ageAfter is the wait per effective-priority step (0 = no aging).
+	ageAfter time.Duration
+
+	// testOnWait, when set, is called (under mu) immediately before a
+	// popper blocks on the condition variable — the deterministic "a
+	// popper is now waiting" signal the queue tests synchronize on.
+	testOnWait func()
 }
 
 type queueItem struct {
-	id       string
-	priority int
-	seq      uint64
+	id        string
+	priority  int
+	seq       uint64
+	enqueued  time.Time
+	notBefore time.Time
 }
 
-func newQueue() *queue {
-	q := &queue{}
+func newQueue(ageAfter time.Duration) *queue {
+	q := &queue{now: time.Now, ageAfter: ageAfter}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// effective is the item's aged priority at time now.
+func (q *queue) effective(it queueItem, now time.Time) int {
+	if q.ageAfter <= 0 {
+		return it.priority
+	}
+	aged := now.Sub(it.enqueued) / q.ageAfter
+	// Cap the boost so a clock jump cannot overflow the int.
+	if aged > 1<<20 {
+		aged = 1 << 20
+	}
+	return it.priority + int(aged)
 }
 
 // push enqueues a job ID at the given priority. Pushing onto a closed
 // queue is a silent no-op (the daemon is draining; the job stays queued
 // in the store and the next daemon's recovery scan picks it up).
 func (q *queue) push(id string, priority int) {
+	q.pushDelayed(id, priority, 0)
+}
+
+// pushDelayed enqueues a job that becomes poppable only after delay —
+// the retry-backoff entry point.
+func (q *queue) pushDelayed(id string, priority int, delay time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return
 	}
-	it := queueItem{id: id, priority: priority, seq: q.seq}
-	q.seq++
-	// Sorted insert: descending priority, ascending seq within a level.
-	// Queues are human-scale (thousands at most); O(n) insert keeps pop
-	// trivially O(1) and the order obvious.
-	pos := len(q.items)
-	for i, e := range q.items {
-		if it.priority > e.priority {
-			pos = i
-			break
-		}
+	now := q.now()
+	it := queueItem{id: id, priority: priority, seq: q.seq, enqueued: now}
+	if delay > 0 {
+		it.notBefore = now.Add(delay)
 	}
-	q.items = append(q.items, queueItem{})
-	copy(q.items[pos+1:], q.items[pos:])
-	q.items[pos] = it
-	q.cond.Signal()
+	q.seq++
+	q.items = append(q.items, it)
+	q.cond.Broadcast()
 }
 
-// pop blocks until an item is available or the queue is closed, in which
-// case it returns ok=false.
+// pop blocks until an item is ready or the queue is closed, in which
+// case it returns ok=false. Among ready items it picks the highest
+// effective (aged) priority, FIFO within a level. Items still inside
+// their backoff delay are invisible; a timer wakes the poppers when the
+// earliest one matures.
 func (q *queue) pop() (string, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for {
+		now := q.now()
+		best, bestAt := -1, 0
+		soonest := time.Time{}
+		for i, it := range q.items {
+			if it.notBefore.After(now) {
+				if soonest.IsZero() || it.notBefore.Before(soonest) {
+					soonest = it.notBefore
+				}
+				continue
+			}
+			eff := q.effective(it, now)
+			if best < 0 || eff > bestAt || (eff == bestAt && it.seq < q.items[best].seq) {
+				best, bestAt = i, eff
+			}
+		}
+		if best >= 0 {
+			it := q.items[best]
+			q.items = append(q.items[:best], q.items[best+1:]...)
+			return it.id, true
+		}
+		if q.closed {
+			return "", false
+		}
+		var waker *time.Timer
+		if !soonest.IsZero() {
+			// Only delayed items exist: arrange a wake-up at the earliest
+			// maturity (plus a hair, so the re-check sees it ready).
+			waker = time.AfterFunc(time.Until(soonest)+time.Millisecond, func() {
+				q.mu.Lock()
+				q.cond.Broadcast()
+				q.mu.Unlock()
+			})
+		}
+		if q.testOnWait != nil {
+			q.testOnWait()
+		}
 		q.cond.Wait()
+		if waker != nil {
+			waker.Stop()
+		}
 	}
-	if len(q.items) == 0 {
-		return "", false
-	}
-	it := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
-	return it.id, true
 }
 
 // remove deletes a queued ID (cancellation). Returns whether it was
@@ -78,15 +148,15 @@ func (q *queue) remove(id string) bool {
 	defer q.mu.Unlock()
 	for i, e := range q.items {
 		if e.id == id {
-			copy(q.items[i:], q.items[i+1:])
-			q.items = q.items[:len(q.items)-1]
+			q.items = append(q.items[:i], q.items[i+1:]...)
 			return true
 		}
 	}
 	return false
 }
 
-// depth reports the queued item count.
+// depth reports the queued item count (backoff-delayed items included:
+// they hold queue capacity — admission control counts them).
 func (q *queue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()

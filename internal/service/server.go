@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 )
@@ -74,12 +75,30 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	js, err := d.Submit(spec)
+	// The standard header is an alternative spelling of the spec field;
+	// the body wins when both are present.
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = r.Header.Get("Idempotency-Key")
+	}
+	js, created, err := d.Submit(spec)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Admission control, not failure: the bounded queue is at
+			// capacity. Retry-After is advisory — roughly one checkpoint
+			// cadence, long enough for a worker to free a slot.
+			w.Header().Set("Retry-After", "5")
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/api/v1/jobs/"+js.ID)
+	if !created {
+		// Idempotent replay: the original job, not a new one.
+		writeJSON(w, http.StatusOK, js)
+		return
+	}
 	writeJSON(w, http.StatusCreated, js)
 }
 
@@ -127,12 +146,13 @@ func (d *Daemon) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	counts := d.store.Counts()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"queued":  counts[StateQueued],
-		"running": counts[StateRunning],
-		"done":    counts[StateDone],
-		"failed":  counts[StateFailed],
-		"workers": d.cfg.Workers,
+		"status":      "ok",
+		"queued":      counts[StateQueued],
+		"running":     counts[StateRunning],
+		"done":        counts[StateDone],
+		"failed":      counts[StateFailed],
+		"quarantined": counts[StateQuarantined],
+		"workers":     d.cfg.Workers,
 	})
 }
 

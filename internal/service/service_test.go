@@ -37,20 +37,16 @@ func newTestDaemon(t *testing.T, cfg Config) *Daemon {
 	return d
 }
 
-// waitJob polls until the job satisfies cond or the deadline passes.
+// waitJob blocks until the job satisfies cond or the deadline passes —
+// condition-variable signaling through the store (AwaitJob), no polling.
 func waitJob(t *testing.T, d *Daemon, id string, timeout time.Duration, cond func(JobStatus) bool) JobStatus {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		js, ok := d.Job(id)
-		if ok && cond(js) {
-			return js
-		}
-		time.Sleep(2 * time.Millisecond)
+	js, ok := d.AwaitJob(id, timeout, cond)
+	if !ok {
+		last, _ := d.Job(id)
+		t.Fatalf("job %s did not reach the awaited condition in %v; last status: %+v", id, timeout, last)
 	}
-	js, _ := d.Job(id)
-	t.Fatalf("job %s did not reach the awaited condition in %v; last status: %+v", id, timeout, js)
-	return JobStatus{}
+	return js
 }
 
 // referenceDigest runs the spec's trajectory directly (no daemon, no
@@ -232,11 +228,11 @@ func TestCancel(t *testing.T) {
 	// One worker, so the second job is guaranteed to still be queued when
 	// we cancel it.
 	d := newTestDaemon(t, Config{StateDir: t.TempDir(), Workers: 1})
-	running, err := d.Submit(JobSpec{System: "small", Steps: 2000, CheckpointEvery: 10})
+	running, _, err := d.Submit(JobSpec{System: "small", Steps: 2000, CheckpointEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := d.Submit(JobSpec{System: "small", Steps: 100})
+	queued, _, err := d.Submit(JobSpec{System: "small", Steps: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +278,7 @@ func TestDaemonKillRestartDurability(t *testing.T) {
 	spec := JobSpec{System: "small", Steps: 120, Shards: 4, CheckpointEvery: 10, Seed: 5}
 
 	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
-	js, err := d1.Submit(spec)
+	js, _, err := d1.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +333,7 @@ func TestGracefulStopPersistsBoundary(t *testing.T) {
 	spec := JobSpec{System: "small", Steps: 80, CheckpointEvery: 10}
 
 	d1 := newTestDaemon(t, Config{StateDir: dir, Workers: 1})
-	js, err := d1.Submit(spec)
+	js, _, err := d1.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,6 +90,17 @@ type JobSpec struct {
 	// trajectory is bitwise identical either way. Ignored when Shards is
 	// zero.
 	Overlap string `json:"overlap,omitempty"`
+
+	// IdempotencyKey makes submission retry-safe: a second submit with
+	// the same key returns the original job instead of creating a
+	// duplicate. Keys are client-chosen, at most 128 characters, and
+	// persisted with the job (so dedup survives daemon restarts).
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
+	// DeadlineSec overrides the daemon's per-job wall-clock deadline in
+	// seconds (0 = use the daemon default). A job past its deadline
+	// fails permanently at its next chunk boundary.
+	DeadlineSec int `json:"deadline_sec,omitempty"`
 }
 
 // Normalize applies defaults in place and validates the spec. It is
@@ -159,6 +170,12 @@ func (j *JobSpec) Normalize() error {
 		if _, err := faults.ParseSpec(j.Chaos); err != nil {
 			return fmt.Errorf("service: job spec: %w", err)
 		}
+	}
+	if len(j.IdempotencyKey) > 128 {
+		return fmt.Errorf("service: job spec: idempotency key longer than 128 characters")
+	}
+	if j.DeadlineSec < 0 {
+		return fmt.Errorf("service: job spec: negative deadline_sec %d", j.DeadlineSec)
 	}
 	return nil
 }

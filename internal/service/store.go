@@ -10,32 +10,47 @@ import (
 	"sync"
 	"time"
 
-	"anton/internal/core"
+	"anton/internal/faults"
 )
 
 // JobState is a job's lifecycle position. The persisted state machine is
 //
 //	queued -> running -> done | failed
 //	queued | running -> canceled
+//	running -(retryable failure)-> queued           (Failures++, backoff)
+//	running | queued -(Failures >= retry budget)-> failed_poisoned
+//	running | queued -(poisoned artifact)-> failed_poisoned
 //	running -(daemon death)-> running on disk -> re-queued at recovery
 //
 // A job found queued or running at daemon startup was interrupted; the
 // recovery scan re-queues it, and its worker resumes from the persisted
 // checkpoint (or from step 0 if the job never reached one).
+//
+// failed_poisoned is the quarantine state: the job's persistent
+// artifacts (status record, checkpoint, or ledger) are too damaged to
+// trust, or the job failed so many consecutive times that retrying it
+// would wedge the pool. Quarantined jobs keep their directory for
+// forensics and are never re-run.
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateCanceled    JobState = "canceled"
+	StateQuarantined JobState = "failed_poisoned"
 )
 
 // terminal reports whether a state can never change again.
 func (s JobState) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
+
+// Terminal reports whether a state can never change again — exported
+// for clients (and the servicechaos experiment) that poll for job
+// completion.
+func (s JobState) Terminal() bool { return s.terminal() }
 
 // JobStatus is the durable record of one job: its spec plus everything
 // the operator needs to monitor and audit it. Persisted as status.json
@@ -61,6 +76,12 @@ type JobStatus struct {
 	Resumes     int `json:"resumes"`
 	ResumedFrom int `json:"resumed_from"`
 
+	// Attempts counts how many times a worker has picked the job up;
+	// Failures counts consecutive retryable failures since the last
+	// clean run (the quarantine trigger — reset only on success).
+	Attempts int `json:"attempts,omitempty"`
+	Failures int `json:"failures,omitempty"`
+
 	// Last sampled diagnostics (informational; floats never feed state).
 	Temperature float64 `json:"temperature_k,omitempty"`
 	TotalEnergy float64 `json:"total_energy,omitempty"`
@@ -75,20 +96,36 @@ type JobStatus struct {
 
 // Store is the durable job store: one directory per job under
 // root/jobs, holding spec-bearing status.json and the job's checkpoint.
-// All writes are crash-consistent; the in-memory map is a cache over the
+// All writes are crash-consistent (routed through the storage fault
+// plane when one is attached); the in-memory map is a cache over the
 // files, rebuilt by a directory scan at open.
 type Store struct {
 	root string
+	fs   *faults.FS
 
-	mu   sync.RWMutex
-	jobs map[string]*JobStatus
-	seq  int
+	mu          sync.RWMutex
+	watch       *sync.Cond // broadcast on every status change (see WaitJob)
+	jobs        map[string]*JobStatus
+	byKey       map[string]string // idempotency key -> job ID
+	seq         int
+	quarantined []string // jobs quarantined by the open scan
 }
 
-// OpenStore opens (creating if needed) the store rooted at dir and loads
-// every job record found there.
-func OpenStore(dir string) (*Store, error) {
-	st := &Store{root: dir, jobs: make(map[string]*JobStatus)}
+// OpenStore opens (creating if needed) the store rooted at dir and
+// loads every job record found there, with plain (fault-free) I/O.
+func OpenStore(dir string) (*Store, error) { return OpenStoreFS(dir, nil) }
+
+// OpenStoreFS is OpenStore with every durable write routed through the
+// given storage fault plane (nil = plain I/O).
+//
+// The scan fails open: a corrupt status record — torn, bit-flipped,
+// zero-length, or naming the wrong job — quarantines that one job
+// (state failed_poisoned, the damaged bytes preserved as
+// status.json.corrupt) instead of refusing to start the daemon. One
+// poisoned record must not take the service down with it.
+func OpenStoreFS(dir string, fsp *faults.FS) (*Store, error) {
+	st := &Store{root: dir, fs: fsp, jobs: make(map[string]*JobStatus), byKey: make(map[string]string)}
+	st.watch = sync.NewCond(&st.mu)
 	if err := os.MkdirAll(st.jobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("service: opening store: %w", err)
 	}
@@ -110,14 +147,54 @@ func OpenStore(dir string) (*Store, error) {
 		}
 		var js JobStatus
 		if err := json.Unmarshal(b, &js); err != nil {
-			return nil, fmt.Errorf("service: corrupt status record for %s: %w", id, err)
+			st.quarantineScanLocked(id, fmt.Errorf("corrupt status record: %w", err))
+		} else if js.ID != id {
+			st.quarantineScanLocked(id, fmt.Errorf("status record names job %q", js.ID))
+		} else {
+			st.jobs[id] = &js
+			if key := js.Spec.IdempotencyKey; key != "" {
+				st.byKey[key] = id
+			}
 		}
-		st.jobs[id] = &js
 		if n := seqOf(id); n > st.seq {
 			st.seq = n
 		}
 	}
 	return st, nil
+}
+
+// quarantineScanLocked handles one corrupt record found by the open
+// scan: preserve the evidence, replace the record with a quarantined
+// one, keep going. Called before any concurrent access exists, so the
+// "Locked" is about symmetry with persistLocked, not contention.
+func (st *Store) quarantineScanLocked(id string, cause error) {
+	dir := filepath.Join(st.jobsDir(), id)
+	// Best-effort evidence preservation; the rename failing must not
+	// block the quarantine itself.
+	_ = os.Rename(filepath.Join(dir, "status.json"), filepath.Join(dir, "status.json.corrupt"))
+	now := time.Now().UTC()
+	js := &JobStatus{
+		ID:          id,
+		State:       StateQuarantined,
+		Error:       fmt.Sprintf("quarantined at scan: %v", cause),
+		ResumedFrom: -1,
+		SubmittedAt: now,
+		UpdatedAt:   now,
+		FinishedAt:  now,
+	}
+	// Persist best-effort too (the disk just proved itself hostile); the
+	// in-memory record stands either way, so the daemon reports the
+	// quarantine even if this write also fails.
+	_ = st.persistLocked(js)
+	st.jobs[id] = js
+	st.quarantined = append(st.quarantined, id)
+}
+
+// Quarantined returns the IDs the open scan quarantined, in scan order.
+func (st *Store) Quarantined() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]string(nil), st.quarantined...)
 }
 
 func (st *Store) jobsDir() string { return filepath.Join(st.root, "jobs") }
@@ -167,11 +244,33 @@ func (st *Store) Create(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	st.jobs[js.ID] = js
+	if key := spec.IdempotencyKey; key != "" {
+		st.byKey[key] = js.ID
+	}
+	st.watch.Broadcast()
 	return *js, nil
 }
 
+// ByKey resolves an idempotency key to the job that registered it.
+func (st *Store) ByKey(key string) (JobStatus, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	id, ok := st.byKey[key]
+	if !ok {
+		return JobStatus{}, false
+	}
+	js, ok := st.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *js, true
+}
+
 // Put persists an updated status record (by value: the store keeps its
-// own copy, so callers can't mutate cached state behind the lock).
+// own copy, so callers can't mutate cached state behind the lock). The
+// cache is updated — and waiters woken — only when the persist
+// succeeds, so the in-memory view never claims more than the disk
+// holds.
 func (st *Store) Put(js JobStatus) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -181,7 +280,23 @@ func (st *Store) Put(js JobStatus) error {
 		return err
 	}
 	st.jobs[cp.ID] = &cp
+	st.watch.Broadcast()
 	return nil
+}
+
+// PutCached updates only the in-memory record (and wakes waiters),
+// leaving the file alone. The requeue path uses this when the disk
+// refuses even the queued flip: the on-disk record stays "running",
+// which the next daemon's recovery scan re-queues all the same, so
+// memory running ahead of disk here cannot lose the job — whereas
+// abandoning the flip would wedge it until a restart.
+func (st *Store) PutCached(js JobStatus) {
+	st.mu.Lock()
+	js.UpdatedAt = time.Now().UTC()
+	cp := js
+	st.jobs[cp.ID] = &cp
+	st.watch.Broadcast()
+	st.mu.Unlock()
 }
 
 func (st *Store) persistLocked(js *JobStatus) error {
@@ -190,7 +305,7 @@ func (st *Store) persistLocked(js *JobStatus) error {
 		return err
 	}
 	b = append(b, '\n')
-	if err := core.AtomicWriteFile(filepath.Join(st.Dir(js.ID), "status.json"), b); err != nil {
+	if err := st.fs.WriteFile(filepath.Join(st.Dir(js.ID), "status.json"), b); err != nil {
 		return fmt.Errorf("service: persisting %s: %w", js.ID, err)
 	}
 	return nil
@@ -205,6 +320,37 @@ func (st *Store) Get(id string) (JobStatus, bool) {
 		return JobStatus{}, false
 	}
 	return *js, true
+}
+
+// WaitJob blocks until the job satisfies pred or the timeout passes —
+// condition-variable signaling, not polling: Put broadcasts on every
+// status change, so waiters wake exactly when something happened. The
+// returned bool reports whether pred was satisfied.
+func (st *Store) WaitJob(id string, timeout time.Duration, pred func(JobStatus) bool) (JobStatus, bool) {
+	deadline := time.Now().Add(timeout)
+	// The timer converts the deadline into a broadcast: cond.Wait has no
+	// timeout of its own, so the waker is what bounds the wait.
+	waker := time.AfterFunc(timeout, func() {
+		st.mu.Lock()
+		st.watch.Broadcast()
+		st.mu.Unlock()
+	})
+	defer waker.Stop()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		var last JobStatus
+		if js, ok := st.jobs[id]; ok {
+			last = *js
+			if pred(last) {
+				return last, true
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return last, false
+		}
+		st.watch.Wait()
+	}
 }
 
 // List returns copies of every job status, sorted by ID (submission
@@ -224,7 +370,7 @@ func (st *Store) List() []JobStatus {
 func (st *Store) Counts() map[JobState]int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	out := make(map[JobState]int, 5)
+	out := make(map[JobState]int, 6)
 	for _, js := range st.jobs {
 		out[js.State]++
 	}
@@ -234,6 +380,13 @@ func (st *Store) Counts() map[JobState]int {
 // Recover flips every interrupted job (queued or running on disk) back
 // to queued, persists the flip, and returns them in submission order for
 // re-enqueueing. Called once at daemon startup, before workers start.
+//
+// The flip's persist retries transient injected faults within the fault
+// plane's budget; if the disk still refuses, the flip is kept cache-only
+// — safe, because the on-disk record then still says "running", which
+// is exactly what the *next* daemon's recovery scan re-queues. Only a
+// crash (disk dead until reboot) or a real, non-injected error aborts
+// startup.
 func (st *Store) Recover() ([]JobStatus, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -245,9 +398,16 @@ func (st *Store) Recover() ([]JobStatus, error) {
 		if js.State == StateRunning {
 			js.State = StateQueued
 			js.UpdatedAt = time.Now().UTC()
-			if err := st.persistLocked(js); err != nil {
-				return nil, err
+			var perr error
+			for attempt := 0; attempt <= st.fs.RetryBudget(); attempt++ {
+				if perr = st.persistLocked(js); perr == nil {
+					break
+				}
+				if !faults.IsInjected(perr) {
+					return nil, perr
+				}
 			}
+			_ = perr // injected and budget-exhausted: cache-only flip
 		}
 		out = append(out, *js)
 	}

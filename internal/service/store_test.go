@@ -120,23 +120,86 @@ func TestStoreRecover(t *testing.T) {
 	}
 }
 
+// TestStoreCorruptStatus is the fails-open contract of the open scan:
+// every flavor of damaged status record — torn, bit-flipped, empty,
+// garbage, or naming the wrong job — quarantines that one job as
+// failed_poisoned (evidence preserved as status.json.corrupt) instead of
+// refusing to open the store or, worse, silently re-running the job.
 func TestStoreCorruptStatus(t *testing.T) {
+	corruptions := []struct {
+		name     string
+		mutilate func([]byte) []byte
+	}{
+		{"zero-length", func([]byte) []byte { return nil }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bit-flipped-brace", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0x40 // '{' -> ';': unparseable from byte 0
+			return c
+		}},
+		{"garbage", func([]byte) []byte { return []byte("{not json") }},
+		{"wrong-job-id", func(b []byte) []byte {
+			return []byte(`{"id":"job-999999","state":"queued","spec":{"system":"small","steps":1}}`)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim, _ := st.Create(testSpec())
+			healthy, _ := st.Create(testSpec())
+			path := filepath.Join(st.Dir(victim.ID), "status.json")
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mutilate(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, err := OpenStore(dir)
+			if err != nil {
+				t.Fatalf("open over a %s record failed instead of quarantining: %v", tc.name, err)
+			}
+			got, ok := st2.Get(victim.ID)
+			if !ok || got.State != StateQuarantined {
+				t.Fatalf("victim = %+v ok=%v, want failed_poisoned", got, ok)
+			}
+			if q := st2.Quarantined(); len(q) != 1 || q[0] != victim.ID {
+				t.Fatalf("Quarantined() = %v, want [%s]", q, victim.ID)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("damaged bytes not preserved: %v", err)
+			}
+			// The healthy neighbor is untouched, and recovery never
+			// re-queues the quarantined job (no silent re-run).
+			if got, ok := st2.Get(healthy.ID); !ok || got.State != StateQueued {
+				t.Fatalf("healthy job = %+v ok=%v", got, ok)
+			}
+			rec, err := st2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, js := range rec {
+				if js.ID == victim.ID {
+					t.Fatal("recovery re-queued a quarantined job")
+				}
+			}
+		})
+	}
+
+	// A job directory with no status.json at all is a mkdir-then-crash
+	// remnant and is skipped, not fatal and not quarantined.
 	dir := t.TempDir()
 	st, err := OpenStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	js, _ := st.Create(testSpec())
-	path := filepath.Join(st.Dir(js.ID), "status.json")
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := OpenStore(dir); err == nil {
-		t.Fatal("OpenStore accepted a corrupt status record")
-	}
-	// A job directory with no status.json at all is a mkdir-then-crash
-	// remnant and is skipped, not fatal.
-	if err := os.Remove(path); err != nil {
+	if err := os.Remove(filepath.Join(st.Dir(js.ID), "status.json")); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := OpenStore(dir)
@@ -145,5 +208,37 @@ func TestStoreCorruptStatus(t *testing.T) {
 	}
 	if _, ok := st2.Get(js.ID); ok {
 		t.Fatal("store resurrected a job with no status record")
+	}
+	if len(st2.Quarantined()) != 0 {
+		t.Fatal("empty remnant dir quarantined")
+	}
+}
+
+// TestStoreIdempotencyIndex: the key -> job index round-trips a reopen,
+// so duplicate-submission detection survives daemon restarts.
+func TestStoreIdempotencyIndex(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	spec.IdempotencyKey = "client-retry-7"
+	js, err := st.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.ByKey("client-retry-7"); !ok || got.ID != js.ID {
+		t.Fatalf("ByKey = %+v ok=%v", got, ok)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st2.ByKey("client-retry-7"); !ok || got.ID != js.ID {
+		t.Fatalf("reopened ByKey = %+v ok=%v — index must rebuild from disk", got, ok)
+	}
+	if _, ok := st2.ByKey("unseen"); ok {
+		t.Fatal("ByKey invented a job")
 	}
 }

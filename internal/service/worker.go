@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -81,12 +82,34 @@ func (d *Daemon) worker() {
 	}
 }
 
-// runJob owns one job end to end: build, resume, chunked stepping with
-// durable checkpoints, telemetry publishing, and the terminal status
-// write. The durability contract is enforced here: every chunk boundary
-// persists checkpoint-then-status (in that order — a status record never
-// points past its checkpoint), so a daemon death at any instant leaves a
-// resumable job that finishes bitwise identical to an uninterrupted run.
+// deadlineFor computes the job's wall-clock cutoff: the spec override
+// wins, else the daemon default, else none. Anchored at the *first*
+// StartedAt, so the budget spans retries — a job cannot launder its
+// deadline by failing.
+func (d *Daemon) deadlineFor(js *JobStatus) time.Time {
+	budget := d.cfg.JobDeadline
+	if js.Spec.DeadlineSec > 0 {
+		budget = time.Duration(js.Spec.DeadlineSec) * time.Second
+	}
+	if budget <= 0 {
+		return time.Time{}
+	}
+	return js.StartedAt.Add(budget)
+}
+
+// runJob owns one job attempt end to end: build, resume, chunked
+// stepping with durable checkpoints, telemetry publishing, and the
+// terminal status write. The durability contract is enforced here: every
+// chunk boundary persists checkpoint → ledger commit → status (in that
+// order — a status record never points past its checkpoint, and a
+// committed ledger never trails its checkpoint), so a daemon death OR an
+// injected storage crash at any instant leaves a resumable job that
+// finishes bitwise identical to an uninterrupted run.
+//
+// Failures route through supervise: storage crashes abandon the job to
+// the next daemon's recovery scan, transient storage faults requeue it
+// with backoff, poisoned artifacts quarantine it, everything else fails
+// it permanently.
 func (d *Daemon) runJob(id string) {
 	js, ok := d.store.Get(id)
 	if !ok || js.State != StateQueued {
@@ -97,12 +120,23 @@ func (d *Daemon) runJob(id string) {
 		return
 	}
 
+	// Progress heartbeat for the stall supervisor: touched at start and
+	// at every chunk boundary, dropped when this attempt ends.
+	beat := &jobBeat{}
+	beat.touch()
+	d.beats.Store(id, beat)
+	defer d.beats.Delete(id)
+
 	js.State = StateRunning
-	js.StartedAt = time.Now().UTC()
-	if err := d.store.Put(js); err != nil {
-		d.log.Error("persist running state", "job", id, "err", err)
+	if js.StartedAt.IsZero() {
+		js.StartedAt = time.Now().UTC()
+	}
+	js.Attempts++
+	if err := d.retryPersist(id, func() error { return d.store.Put(js) }); err != nil {
+		d.supervise(&js, fmt.Errorf("persisting running state: %w", err))
 		return
 	}
+	deadline := d.deadlineFor(&js)
 
 	sim, eng, sh, err := BuildSim(js.Spec)
 	if err != nil {
@@ -114,14 +148,28 @@ func (d *Daemon) runJob(id string) {
 	}
 
 	// Resume: a persisted checkpoint means this job was interrupted (or
-	// the daemon was). The restore validates fingerprint + CRC before
-	// mutating anything; a damaged file fails the job with a clear error
-	// rather than silently starting a different trajectory.
+	// the daemon was). The read goes through the fault plane (with
+	// retries — a flaky disk must not forfeit a resumable job); the
+	// restore validates fingerprint + CRC before mutating anything. A
+	// file that reads fine but fails validation is damaged at rest:
+	// quarantine, never silently restart from step 0 — that would burn
+	// the wall-clock budget re-computing a trajectory the operator
+	// believes is half done.
 	ckptPath := d.store.CheckpointPath(id)
 	resumed := false
 	if _, statErr := os.Stat(ckptPath); statErr == nil {
-		if err := sim.RestoreCheckpointFile(ckptPath); err != nil {
-			d.finish(&js, StateFailed, fmt.Errorf("resuming from checkpoint: %w", err))
+		var blob []byte
+		err := d.retryPersist(id, func() error {
+			var rerr error
+			blob, rerr = d.fs.ReadFile(ckptPath)
+			return rerr
+		})
+		if err != nil {
+			d.supervise(&js, fmt.Errorf("reading checkpoint: %w", err))
+			return
+		}
+		if err := sim.RestoreCheckpoint(bytes.NewReader(blob)); err != nil {
+			d.supervise(&js, poisonedErr(fmt.Errorf("resuming from checkpoint: %w", err)))
 			return
 		}
 		js.Resumes++
@@ -132,12 +180,16 @@ func (d *Daemon) runJob(id string) {
 
 	// The run ledger is part of the durability contract: a fresh job
 	// opens its provenance chain with a genesis record; a resumed job
-	// audits the existing chain first (a tampered or torn-beyond-repair
-	// ledger fails the job — resuming would extend a history that can no
-	// longer be trusted) and stamps a resume record.
+	// audits the existing chain first and stamps a resume record. A
+	// tampered or torn-beyond-repair chain poisons the job — resuming
+	// would extend a history that can no longer be trusted.
 	lw, err := d.openJobLedger(&js, eng, resumed)
 	if err != nil {
-		d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
+		err = fmt.Errorf("run ledger: %w", err)
+		if resumed && !faults.IsCrash(err) && !transientFault(err) {
+			err = poisonedErr(err)
+		}
+		d.supervise(&js, err)
 		return
 	}
 	defer func() {
@@ -174,7 +226,7 @@ func (d *Daemon) runJob(id string) {
 			return
 		}
 		if err := lw.AppendFaults(int64(sim.StepCount()), spec.String(), spec.Seed); err != nil {
-			d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
+			d.supervise(&js, fmt.Errorf("run ledger: %w", err))
 			return
 		}
 	}
@@ -201,14 +253,22 @@ func (d *Daemon) runJob(id string) {
 		}
 	}
 
+	// persist seals one chunk boundary: serialize the checkpoint once,
+	// write it through the fault plane (retried), ledger it + any latched
+	// alerts, commit the batch (the commit fsyncs, so everything up to
+	// this boundary is durable before the status record can claim it),
+	// then persist status. The ledger writer retries its own appends with
+	// rollback, so a re-driven stage never double-appends; re-recording
+	// the checkpoint after a commit failure is harmless (duplicate
+	// checkpoint records agree, and audit tolerates agreeing duplicates).
 	persist := func() error {
-		if err := sim.WriteCheckpointFile(ckptPath); err != nil {
+		var buf bytes.Buffer
+		if err := sim.WriteCheckpoint(&buf); err != nil {
+			return fmt.Errorf("serializing checkpoint: %w", err)
+		}
+		if err := d.retryPersist(id, func() error { return d.fs.WriteFile(ckptPath, buf.Bytes()) }); err != nil {
 			return fmt.Errorf("writing checkpoint: %w", err)
 		}
-		// Ledger the checkpoint (file + its CRC + digest) and any health
-		// alerts latched since the previous boundary, then seal the batch:
-		// the commit fsyncs, so everything up to this boundary is durable
-		// before the status record can claim it.
 		if err := tap.RecordCheckpoint(ckptPath); err != nil {
 			return fmt.Errorf("ledgering checkpoint: %w", err)
 		}
@@ -230,7 +290,11 @@ func (d *Daemon) runJob(id string) {
 		js.Digest = fmt.Sprintf("%016x", sim.StateDigest())
 		js.Temperature = eng.Temperature()
 		js.TotalEnergy = eng.TotalEnergy()
-		return d.store.Put(js)
+		if err := d.retryPersist(id, func() error { return d.store.Put(js) }); err != nil {
+			return fmt.Errorf("persisting status: %w", err)
+		}
+		beat.touch()
+		return nil
 	}
 
 	for sim.StepCount() < js.Spec.Steps {
@@ -257,6 +321,14 @@ func (d *Daemon) runJob(id string) {
 			publish()
 			return
 		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// Past the wall-clock budget: permanent failure, not a retry —
+			// requeueing a job that is out of time would spin forever.
+			d.finish(&js, StateFailed, fmt.Errorf("deadline exceeded after %s (at step %d of %d)",
+				time.Since(js.StartedAt).Round(time.Millisecond), sim.StepCount(), js.Spec.Steps))
+			publish()
+			return
+		}
 		chunk := js.Spec.CheckpointEvery
 		if rem := js.Spec.Steps - sim.StepCount(); chunk > rem {
 			chunk = rem
@@ -275,35 +347,53 @@ func (d *Daemon) runJob(id string) {
 			return
 		}
 		if err := persist(); err != nil {
-			d.finish(&js, StateFailed, err)
+			d.supervise(&js, err)
 			return
 		}
 		publish()
 	}
 
-	// A dead ledger never stops the dynamics, but it does fail the job:
-	// a run whose provenance chain has a hole is not auditable, and
-	// "done" here certifies auditability.
+	// The status record can trail the checkpoint by one boundary (a crash
+	// between the checkpoint/ledger stage and the status stage leaves
+	// exactly that cut — the persist order guarantees it is the only
+	// possible skew). A resume that lands on the final step skips the
+	// loop entirely, so refresh the completion fields from the live
+	// engine rather than trusting the possibly-stale record.
+	js.Step = sim.StepCount()
+	js.Digest = fmt.Sprintf("%016x", sim.StateDigest())
+	js.Temperature = eng.Temperature()
+	js.TotalEnergy = eng.TotalEnergy()
+
+	// A dead ledger never stops the dynamics, but it does gate "done":
+	// a run whose provenance chain has a hole is not auditable, and done
+	// certifies auditability. A transiently dead writer requeues — the
+	// re-run resumes from the final checkpoint and re-commits the chain.
 	if err := tap.Err(); err != nil {
-		d.finish(&js, StateFailed, fmt.Errorf("run ledger: %w", err))
+		d.supervise(&js, fmt.Errorf("run ledger: %w", err))
 		return
 	}
 	d.finish(&js, StateDone, nil)
 	publish()
-	d.log.Info("job finished", "job", id, "steps", js.Step, "digest", js.Digest)
+	d.log.Info("job finished", "job", id, "steps", js.Step, "digest", js.Digest,
+		"attempts", js.Attempts)
 }
 
-// finish writes a terminal state. Persistence failures at this point can
-// only be logged — the job's checkpoint is still on disk, so a recovery
-// scan will re-run the tail idempotently.
+// finish writes a terminal state (or the success reset of the failure
+// counter). Persistence here retries transient faults like any other
+// stage; a storage crash can only be logged — the job's checkpoint is
+// still on disk, so the next daemon's recovery scan re-runs the tail
+// idempotently.
 func (d *Daemon) finish(js *JobStatus, state JobState, cause error) {
 	js.State = state
 	js.FinishedAt = time.Now().UTC()
+	if state == StateDone {
+		js.Failures = 0
+	}
 	if cause != nil {
 		js.Error = cause.Error()
-		d.log.Error("job failed", "job", js.ID, "err", cause)
+		d.log.Error("job failed", "job", js.ID, "state", state, "err", cause)
 	}
-	if err := d.store.Put(*js); err != nil {
+	if err := d.retryPersist(js.ID, func() error { return d.store.Put(*js) }); err != nil {
 		d.log.Error("persist terminal state", "job", js.ID, "err", err)
 	}
 }

@@ -89,13 +89,38 @@ echo "== ledger: Merkle root determinism =="
 # one process (-count=2 exposes ordering/state leaks between runs).
 go test -count=2 -run 'TestLedgerRootDeterminism' ./internal/ledger
 
-echo "== race: service daemon (durability e2e) =="
-# The whole service package under the race detector, long tests included:
-# queue/store/auth units, the HTTP API e2e, and the two durability
-# contracts — kill-and-restart resumes from the last durable checkpoint,
-# graceful drain resumes from the stop boundary, both finishing bitwise
-# identical to an uninterrupted reference run.
-go test -race ./internal/service
+echo "== race: service daemon (units + API) =="
+# The service package's fast surface under the race detector:
+# queue/store/auth units, admission control, idempotency, metrics, and
+# the supervision-routing unit tests. The long simulation-backed tests
+# run in the two dedicated gates below, so nothing is raced twice.
+go test -race -short ./internal/service
+
+echo "== race: service durability e2e =="
+# The durability contracts, raced: kill-and-restart resumes from the
+# last durable checkpoint, graceful drain resumes from the stop
+# boundary — both bitwise identical to an uninterrupted reference run —
+# and the per-job provenance ledger survives resume and detects tamper.
+go test -race -run 'TestServiceHTTP|TestCancel|TestDaemonKillRestartDurability|TestGracefulStopPersistsBoundary|TestJobLedger|TestDaemonWorkerMetrics' \
+	./internal/service
+
+echo "== race: service chaos (hostile-disk campaign) =="
+# The storage-fault campaign under the race detector: the persist-point
+# crash matrix (every cut of checkpoint -> ledger -> status), the
+# transient-fault storm, corrupt-checkpoint quarantine, deadline and
+# stall supervision, admission control, and the scheduled kill/reboot
+# campaign. Every surviving job must land bitwise identical to the
+# undisturbed run with a verifying ledger.
+go test -race -run Chaos ./internal/service
+
+echo "== storage fault plane: replay determinism =="
+# The fault plane's replayability contract: the same seed must produce
+# the same verdict stream, crash schedule and torn bytes, and the
+# streak-suppression liveness bound must hold. -count=2 runs each twice
+# in one process so hidden global state cannot pass by luck.
+go test -race ./internal/faults
+go test -count=2 -run 'TestFSReplayDeterminism|TestFSLiveness|TestScheduleDeterministic' \
+	./internal/faults
 
 echo "== race: checkpoint file cross-shard resume =="
 # A checkpoint *file* written at 8 shards must resume at 1 and 64 shards
